@@ -1,0 +1,77 @@
+#pragma once
+// Shared plumbing for the figure/table reproduction harnesses: standard
+// workload construction, full-session execution, and result records.
+//
+// Every bench prints the paper-style table to stdout and drops a CSV
+// next to the working directory for replotting.
+
+#include <cstdio>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/session.hpp"
+#include "net/message.hpp"
+#include "trace/generator.hpp"
+#include "util/table.hpp"
+
+namespace continu::bench {
+
+/// The paper's standard workload (Section 5.2) on a synthetic
+/// clip2-style snapshot of `nodes` hosts.
+[[nodiscard]] inline trace::TraceSnapshot standard_trace(std::size_t nodes,
+                                                         std::uint64_t seed) {
+  trace::GeneratorConfig config;
+  config.node_count = nodes;
+  config.average_degree = 2.5;
+  config.seed = seed;
+  return trace::generate_snapshot(config);
+}
+
+/// Default run horizons: the paper tracks 0-30 s and reports stable-phase
+/// values; we run a little longer and average the stable window.
+struct Horizon {
+  double duration = 45.0;
+  double stable_from = 20.0;
+};
+
+struct RunSummary {
+  double stable_continuity = 0.0;
+  double stabilization_time = -1.0;   ///< first round reaching 90% of stable
+  double control_overhead = 0.0;
+  double prefetch_overhead = 0.0;
+  core::SessionStats stats;
+};
+
+[[nodiscard]] inline RunSummary run_summary(const core::SystemConfig& config,
+                                            const trace::TraceSnapshot& snapshot,
+                                            Horizon horizon = {}) {
+  core::Session session(config, snapshot);
+  session.run(horizon.duration);
+  RunSummary out;
+  out.stable_continuity = session.continuity().stable_mean(horizon.stable_from);
+  out.stabilization_time =
+      session.continuity().stabilization_time(0.9 * out.stable_continuity);
+  out.control_overhead = session.traffic().control_overhead();
+  out.prefetch_overhead = session.traffic().prefetch_overhead();
+  out.stats = session.stats();
+  return out;
+}
+
+/// Paper-standard system configuration for a run over `nodes` hosts.
+[[nodiscard]] inline core::SystemConfig standard_config(std::size_t nodes,
+                                                        std::uint64_t seed,
+                                                        bool churn) {
+  core::SystemConfig config;
+  config.seed = seed;
+  config.expected_nodes = static_cast<double>(nodes);
+  config.churn_enabled = churn;
+  return config;
+}
+
+inline void print_header(const char* figure, const char* caption) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure, caption);
+  std::printf("================================================================\n");
+}
+
+}  // namespace continu::bench

@@ -1,0 +1,54 @@
+// Corpus robustness: the paper evaluates on 30 real-trace snapshots
+// (clip2 crawls of different sizes/degrees). This bench sweeps a
+// generated corpus of snapshots and verifies the headline comparison —
+// ContinuStreaming above the CoolStreaming baseline — holds across
+// trace shapes, not just one lucky topology.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "trace/generator.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace continu;
+
+  bench::print_header("Corpus robustness",
+                      "headline comparison across generated trace snapshots");
+
+  const auto corpus = trace::generate_corpus(/*count=*/8, /*min_nodes=*/200,
+                                             /*max_nodes=*/1200, /*seed=*/2026);
+
+  util::Table table({"nodes", "avg crawl degree", "CoolStreaming", "ContinuStreaming",
+                     "delta"});
+  util::CsvWriter csv("corpus_robustness.csv",
+                      {"nodes", "degree", "coolstreaming", "continustreaming"});
+
+  std::size_t wins = 0;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const auto& snapshot = corpus[i];
+    const auto config =
+        bench::standard_config(snapshot.node_count(), 90 + i, /*churn=*/false);
+    const auto cont = bench::run_summary(config, snapshot);
+    const auto cool = bench::run_summary(config.as_coolstreaming(), snapshot);
+    if (cont.stable_continuity > cool.stable_continuity) ++wins;
+    table.add_row({std::to_string(snapshot.node_count()),
+                   util::Table::num(snapshot.average_degree(), 2),
+                   util::Table::num(cool.stable_continuity, 3),
+                   util::Table::num(cont.stable_continuity, 3),
+                   util::Table::num(cont.stable_continuity - cool.stable_continuity, 3)});
+    csv.add_row({std::to_string(snapshot.node_count()),
+                 util::Table::num(snapshot.average_degree(), 3),
+                 util::Table::num(cool.stable_continuity, 4),
+                 util::Table::num(cont.stable_continuity, 4)});
+    std::printf("  snapshot %zu/%zu done\n", i + 1, corpus.size());
+  }
+
+  std::printf("%s", table.render().c_str());
+  std::printf("\nContinuStreaming won %zu of %zu snapshots.\n", wins, corpus.size());
+  std::printf("Paper context: results were consistent across its 30 crawled\n"
+              "topologies; the comparison should not hinge on one trace.\n"
+              "CSV: corpus_robustness.csv\n");
+  return 0;
+}

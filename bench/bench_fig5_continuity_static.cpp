@@ -1,0 +1,50 @@
+// Figure 5 reproduction: per-round playback continuity track, static
+// environment, 1000 nodes, single source — CoolStreaming vs
+// ContinuStreaming over the first 30+ seconds. The paper reports
+// CoolStreaming stabilizing around 0.83 (by ~26 s) and ContinuStreaming
+// around 0.97 (by ~18 s).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace continu;
+
+  bench::print_header("Figure 5",
+                      "playback continuity track, static environment, 1000 nodes");
+
+  const auto snapshot = bench::standard_trace(1000, 55);
+  const auto config = bench::standard_config(1000, 7, /*churn=*/false);
+
+  core::Session continu_session(config, snapshot);
+  continu_session.run(45.0);
+  core::Session cool_session(config.as_coolstreaming(), snapshot);
+  cool_session.run(45.0);
+
+  util::Table table({"time (s)", "CoolStreaming", "ContinuStreaming"});
+  util::CsvWriter csv("fig5_continuity_static.csv",
+                      {"time", "coolstreaming", "continustreaming"});
+  const auto& cool = cool_session.continuity().rounds();
+  const auto& cont = continu_session.continuity().rounds();
+  for (std::size_t i = 0; i < cool.size() && i < cont.size(); ++i) {
+    table.add_row({util::Table::num(cool[i].time, 0), util::Table::num(cool[i].ratio(), 3),
+                   util::Table::num(cont[i].ratio(), 3)});
+    csv.add_row({util::Table::num(cool[i].time, 1), util::Table::num(cool[i].ratio(), 4),
+                 util::Table::num(cont[i].ratio(), 4)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  std::printf("\nContinuity INDEX (per-segment metric other papers use; always\n"
+              ">= the strict node-level metric): Cool %.3f, Continu %.3f\n",
+              cool_session.collector().mean_from("continuity_index", 20.0),
+              continu_session.collector().mean_from("continuity_index", 20.0));
+  std::printf("Stable phase (t >= 20 s): CoolStreaming %.3f, ContinuStreaming %.3f\n",
+              cool_session.continuity().stable_mean(20.0),
+              continu_session.continuity().stable_mean(20.0));
+  std::printf("Paper expectation: ~0.83 vs ~0.97, with ContinuStreaming entering its\n"
+              "stable phase several seconds earlier. CSV: fig5_continuity_static.csv\n");
+  return 0;
+}

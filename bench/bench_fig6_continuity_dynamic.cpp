@@ -1,0 +1,47 @@
+// Figure 6 reproduction: per-round playback continuity track in a
+// dynamic environment (5% leaves + 5% joins per scheduling period),
+// 1000 nodes. The paper reports CoolStreaming around 0.78 and
+// ContinuStreaming around 0.95, i.e. a LARGER improvement than the
+// static case — ContinuStreaming helps more when churn bites.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace continu;
+
+  bench::print_header("Figure 6",
+                      "playback continuity track, dynamic environment, 1000 nodes");
+
+  const auto snapshot = bench::standard_trace(1000, 56);
+  const auto config = bench::standard_config(1000, 9, /*churn=*/true);
+
+  core::Session continu_session(config, snapshot);
+  continu_session.run(45.0);
+  core::Session cool_session(config.as_coolstreaming(), snapshot);
+  cool_session.run(45.0);
+
+  util::Table table({"time (s)", "CoolStreaming", "ContinuStreaming"});
+  util::CsvWriter csv("fig6_continuity_dynamic.csv",
+                      {"time", "coolstreaming", "continustreaming"});
+  const auto& cool = cool_session.continuity().rounds();
+  const auto& cont = continu_session.continuity().rounds();
+  for (std::size_t i = 0; i < cool.size() && i < cont.size(); ++i) {
+    table.add_row({util::Table::num(cool[i].time, 0), util::Table::num(cool[i].ratio(), 3),
+                   util::Table::num(cont[i].ratio(), 3)});
+    csv.add_row({util::Table::num(cool[i].time, 1), util::Table::num(cool[i].ratio(), 4),
+                 util::Table::num(cont[i].ratio(), 4)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  const double cool_stable = cool_session.continuity().stable_mean(20.0);
+  const double cont_stable = continu_session.continuity().stable_mean(20.0);
+  std::printf("\nStable phase (t >= 20 s): CoolStreaming %.3f, ContinuStreaming %.3f, "
+              "delta %.3f\n", cool_stable, cont_stable, cont_stable - cool_stable);
+  std::printf("Paper expectation: ~0.78 vs ~0.95; the dynamic delta exceeds the\n"
+              "static one. CSV: fig6_continuity_dynamic.csv\n");
+  return 0;
+}

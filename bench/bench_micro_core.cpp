@@ -1,0 +1,115 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the
+// reproduction: the event queue, the buffer-map codec, the priority
+// model + Algorithm 1 inner loop, greedy DHT routing, and the bit
+// window primitives that buffer-map processing leans on.
+
+#include <benchmark/benchmark.h>
+
+#include "core/buffer_map.hpp"
+#include "core/priority.hpp"
+#include "core/scheduler.hpp"
+#include "dht/id_space.hpp"
+#include "dht/routing_experiment.hpp"
+#include "sim/simulator.hpp"
+#include "util/bitwindow.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace continu;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (std::size_t i = 0; i < batch; ++i) {
+      sim.schedule_in(rng.next_double(), [] {});
+    }
+    benchmark::DoNotOptimize(sim.run_all());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BufferMapEncodeDecode(benchmark::State& state) {
+  util::Rng rng(2);
+  util::BitWindow window(600, 10000);
+  for (int i = 0; i < 400; ++i) {
+    window.set(10000 + static_cast<SegmentId>(rng.next_below(600)));
+  }
+  for (auto _ : state) {
+    const auto image = core::encode_buffer_map(window);
+    const auto decoded = core::decode_buffer_map(image, 600, 10000);
+    benchmark::DoNotOptimize(decoded.count());
+  }
+}
+BENCHMARK(BM_BufferMapEncodeDecode);
+
+void BM_BitWindowMissingScan(benchmark::State& state) {
+  util::Rng rng(3);
+  util::BitWindow window(600, 0);
+  for (int i = 0; i < 450; ++i) {
+    window.set(static_cast<SegmentId>(rng.next_below(600)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(window.missing_in(0, 600));
+  }
+}
+BENCHMARK(BM_BitWindowMissingScan);
+
+[[nodiscard]] core::ScheduleRequest make_request(std::size_t candidates,
+                                                 std::size_t suppliers) {
+  util::Rng rng(4);
+  core::ScheduleRequest request;
+  request.priority_inputs.play_point = 100;
+  request.inbound_budget = 15;
+  request.rank_jitter = 0.4;
+  request.jitter_seed = 99;
+  for (std::size_t i = 0; i < candidates; ++i) {
+    core::Candidate c;
+    c.id = 110 + static_cast<SegmentId>(i);
+    for (std::size_t s = 0; s < suppliers; ++s) {
+      if (rng.next_bool(0.7)) {
+        c.offers.push_back(core::SupplierOffer{static_cast<NodeId>(s + 1),
+                                               rng.next_range(2.0, 30.0),
+                                               1 + rng.next_below(600)});
+      }
+    }
+    if (!c.offers.empty()) request.candidates.push_back(std::move(c));
+  }
+  return request;
+}
+
+void BM_ScheduleContinu(benchmark::State& state) {
+  const auto request = make_request(static_cast<std::size_t>(state.range(0)), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::schedule_continu(request));
+  }
+}
+BENCHMARK(BM_ScheduleContinu)->Arg(20)->Arg(100)->Arg(400);
+
+void BM_ScheduleCoolStreaming(benchmark::State& state) {
+  const auto request = make_request(static_cast<std::size_t>(state.range(0)), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::schedule_coolstreaming(request));
+  }
+}
+BENCHMARK(BM_ScheduleCoolStreaming)->Arg(20)->Arg(100)->Arg(400);
+
+void BM_DhtGreedyRoute(benchmark::State& state) {
+  const dht::IdSpace space(8192);
+  util::Rng build_rng(5);
+  const dht::RoutingExperiment experiment(space, 4096, build_rng);
+  util::Rng query_rng(6);
+  const auto& ids = experiment.node_ids();
+  for (auto _ : state) {
+    const NodeId start = ids[query_rng.next_below(ids.size())];
+    const auto target = static_cast<NodeId>(query_rng.next_below(space.size()));
+    benchmark::DoNotOptimize(experiment.route(start, target));
+  }
+}
+BENCHMARK(BM_DhtGreedyRoute);
+
+}  // namespace

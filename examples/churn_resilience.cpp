@@ -1,0 +1,53 @@
+// Churn resilience: ContinuStreaming vs the CoolStreaming baseline under
+// increasingly harsh churn — the paper's core claim is that DHT-assisted
+// pre-fetch matters MORE in dynamic environments. Sweeps the per-round
+// churn rate and prints both systems' stable continuity side by side.
+
+#include <cstdio>
+
+#include "core/config.hpp"
+#include "core/session.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+double run_stable(const continu::core::SystemConfig& config,
+                  const continu::trace::TraceSnapshot& snapshot) {
+  continu::core::Session session(config, snapshot);
+  session.run(45.0);
+  return session.continuity().stable_mean(20.0);
+}
+
+}  // namespace
+
+int main() {
+  using namespace continu;
+
+  trace::GeneratorConfig trace_config;
+  trace_config.node_count = 300;
+  trace_config.seed = 17;
+  const auto snapshot = trace::generate_snapshot(trace_config);
+
+  std::printf("Churn resilience sweep (300 nodes, 45 s, stable window 20-45 s)\n\n");
+  std::printf("%12s %16s %18s %10s\n", "churn/round", "CoolStreaming",
+              "ContinuStreaming", "delta");
+
+  for (const double churn : {0.0, 0.02, 0.05, 0.10}) {
+    core::SystemConfig config;
+    config.seed = 3;
+    config.expected_nodes = 300.0;
+    config.churn_enabled = churn > 0.0;
+    config.churn.leave_fraction = churn;
+    config.churn.join_fraction = churn;
+
+    const double cool = run_stable(config.as_coolstreaming(), snapshot);
+    const double cont = run_stable(config, snapshot);
+    std::printf("%11.0f%% %16.3f %18.3f %10.3f\n", churn * 100.0, cool, cont,
+                cont - cool);
+  }
+
+  std::printf("\nExpectation (paper Figs. 6/8): the delta grows with churn — the\n"
+              "gossip mesh loses more segments when partners vanish, and the DHT\n"
+              "pre-fetch recovers exactly those.\n");
+  return 0;
+}

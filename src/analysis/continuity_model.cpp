@@ -1,0 +1,53 @@
+#include "analysis/continuity_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/poisson.hpp"
+
+namespace continu::analysis {
+
+ContinuityPrediction predict_continuity(const ContinuityInputs& in) {
+  if (in.lambda < 0.0 || in.tau <= 0.0) {
+    throw std::invalid_argument("predict_continuity: bad lambda/tau");
+  }
+  const double mean = in.lambda * in.tau;
+  const auto demand = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(in.p) * in.tau));
+
+  ContinuityPrediction out;
+  out.trigger_probability = poisson_cdf(demand, mean);
+  out.expected_miss = poisson_expected_shortfall(demand, mean);
+  out.pc_old = 1.0 - out.trigger_probability;
+  const double fetch_ok = 1.0 - prefetch_all_fail_probability(in.k);
+  const double all_fetched = std::pow(fetch_ok, out.expected_miss);
+  out.pc_new = 1.0 - out.trigger_probability * (1.0 - all_fetched);
+  out.delta = out.pc_new - out.pc_old;
+  return out;
+}
+
+double prefetch_all_fail_probability(unsigned k) {
+  if (k == 0) return 1.0;
+  return std::pow(0.5, static_cast<double>(k));
+}
+
+double expected_fetch_time_s(double n_nodes, double t_hop_s) {
+  if (n_nodes < 1.0 || t_hop_s < 0.0) {
+    throw std::invalid_argument("expected_fetch_time_s: bad inputs");
+  }
+  const double locate_hops = std::log2(n_nodes) / 2.0;
+  return (locate_hops + 3.0) * t_hop_s;
+}
+
+double initial_urgent_ratio(std::uint64_t p, std::uint64_t buffer_capacity, double tau_s,
+                            double t_fetch_s) {
+  if (buffer_capacity == 0) {
+    throw std::invalid_argument("initial_urgent_ratio: empty buffer");
+  }
+  const double ratio = static_cast<double>(p) / static_cast<double>(buffer_capacity) *
+                       std::max(tau_s, t_fetch_s);
+  return std::min(ratio, 1.0);
+}
+
+}  // namespace continu::analysis

@@ -1,0 +1,47 @@
+#pragma once
+// Closed-form playback-continuity model (paper Section 5.1).
+//
+//   PC_old  = 1 - P{N(tau) <= p*tau}                          (eq. 13)
+//   PC_new  = 1 - P{N(tau) <= p*tau} * (1 - (1 - 2^-k)^Nmiss) (eq. 14)
+//   Delta   = PC_new - PC_old                                 (eq. 15)
+//   Nmiss   = E[(p*tau - N(tau))^+]                           (eq. 12)
+//
+// with N(tau) Poisson of mean lambda*tau, lambda ~ inbound rate I, and
+// each segment backed up on k DHT nodes (per-replica miss probability
+// 1/2, so a pre-fetch finds some replica w.p. 1 - 2^-k).
+
+#include <cstdint>
+
+namespace continu::analysis {
+
+struct ContinuityInputs {
+  double lambda = 15.0;     ///< arrival rate (segments/s) ~ inbound rate I
+  double tau = 1.0;         ///< scheduling period (s)
+  std::uint64_t p = 10;     ///< playback rate (segments/s)
+  unsigned k = 4;           ///< backup replicas per segment
+};
+
+struct ContinuityPrediction {
+  double trigger_probability = 0.0;  ///< P{on-demand retrieval triggered} (eq. 11)
+  double expected_miss = 0.0;        ///< E[N_miss] (eq. 12)
+  double pc_old = 0.0;               ///< gossip-only continuity (eq. 13)
+  double pc_new = 0.0;               ///< with DHT pre-fetch (eq. 14)
+  double delta = 0.0;                ///< improvement (eq. 15)
+};
+
+[[nodiscard]] ContinuityPrediction predict_continuity(const ContinuityInputs& in);
+
+/// Probability that a node CANNOT pre-fetch a given segment from any of
+/// the k backups: (1/2)^k (paper Section 4.3).
+[[nodiscard]] double prefetch_all_fail_probability(unsigned k);
+
+/// Expected time to pre-fetch one segment (paper eqs. 6-7):
+/// t_fetch ~= (log2(n)/2 + 3) * t_hop.
+[[nodiscard]] double expected_fetch_time_s(double n_nodes, double t_hop_s);
+
+/// Lower bound and initial value of the urgent ratio (paper eq. 9):
+/// alpha = (p / B) * max(tau, t_fetch).
+[[nodiscard]] double initial_urgent_ratio(std::uint64_t p, std::uint64_t buffer_capacity,
+                                          double tau_s, double t_fetch_s);
+
+}  // namespace continu::analysis

@@ -1,0 +1,39 @@
+#include "analysis/coverage.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace continu::analysis {
+
+double kermarrec_coverage(double c) { return std::exp(-std::exp(-c)); }
+
+double coolstreaming_coverage(unsigned m, unsigned d, double n) {
+  if (m < 3) throw std::invalid_argument("coolstreaming_coverage: M must be >= 3");
+  if (d < 2) throw std::invalid_argument("coolstreaming_coverage: d must be >= 2");
+  if (n <= 0.0) throw std::invalid_argument("coolstreaming_coverage: n must be positive");
+  const double md = static_cast<double>(m);
+  const double exponent =
+      md * std::pow(md - 1.0, static_cast<double>(d - 2)) / ((md - 2.0) * n);
+  return 1.0 - std::exp(-exponent);
+}
+
+unsigned coverage_distance(unsigned m, double n, double target, unsigned max_d) {
+  for (unsigned d = 2; d <= max_d; ++d) {
+    if (coolstreaming_coverage(m, d, n) >= target) return d;
+  }
+  return max_d;
+}
+
+double control_overhead_model(unsigned m, std::uint64_t p) {
+  if (p == 0) throw std::invalid_argument("control_overhead_model: p must be positive");
+  return 620.0 * static_cast<double>(m) / (30.0 * 1024.0 * static_cast<double>(p));
+}
+
+double prefetch_cost_bits(unsigned k, double n) {
+  if (n < 1.0) throw std::invalid_argument("prefetch_cost_bits: n must be >= 1");
+  const double routing =
+      (static_cast<double>(k) * (std::log2(n) / 2.0 + 1.0) + 1.0) * 80.0;
+  return routing + 30.0 * 1024.0;
+}
+
+}  // namespace continu::analysis

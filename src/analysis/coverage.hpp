@@ -1,0 +1,34 @@
+#pragma once
+// Gossip coverage formulas cited in the paper (Sections 2 and 4.1).
+
+#include <cstdint>
+
+namespace continu::analysis {
+
+/// Kermarrec et al.: with n nodes each gossiping to log(n) + c others,
+/// P{everyone receives the message} -> exp(-exp(-c)).
+[[nodiscard]] double kermarrec_coverage(double c);
+
+/// CoolStreaming's analysis: coverage ratio at overlay distance d with M
+/// connected neighbors and n nodes:
+///   1 - exp(-M * (M-1)^(d-2) / ((M-2) * n)).
+/// Requires M >= 3, d >= 2.
+[[nodiscard]] double coolstreaming_coverage(unsigned m, unsigned d, double n);
+
+/// Smallest distance d at which coolstreaming_coverage reaches `target`
+/// (caps at `max_d`). Used to sanity-check propagation depth.
+[[nodiscard]] unsigned coverage_distance(unsigned m, double n, double target,
+                                         unsigned max_d = 64);
+
+/// Control-overhead model from Section 5.4.2: each buffer-map exchange
+/// costs 620 bits, a node reaches M neighbors per round and receives
+/// p segments of 30*1024 bits each per round when continuity is 1.0,
+/// giving overhead ~= 620*M / (30*1024*p) = M/495 (for p = 10).
+[[nodiscard]] double control_overhead_model(unsigned m, std::uint64_t p);
+
+/// Pre-fetch cost model from Section 5.4.3: fetching one segment takes
+/// about k*(log2(n)/2 + 1) + 1 routing messages of 80 bits plus the
+/// 30*1024-bit segment itself.
+[[nodiscard]] double prefetch_cost_bits(unsigned k, double n);
+
+}  // namespace continu::analysis

@@ -1,0 +1,52 @@
+#include "analysis/poisson.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace continu::analysis {
+
+double poisson_pmf(std::uint64_t n, double mean) {
+  if (mean < 0.0) throw std::invalid_argument("poisson_pmf: negative mean");
+  if (mean == 0.0) return n == 0 ? 1.0 : 0.0;
+  // log pmf = -mean + n*log(mean) - lgamma(n+1)
+  const double log_pmf = -mean + static_cast<double>(n) * std::log(mean) -
+                         std::lgamma(static_cast<double>(n) + 1.0);
+  return std::exp(log_pmf);
+}
+
+double poisson_cdf(std::uint64_t n, double mean) {
+  if (mean < 0.0) throw std::invalid_argument("poisson_cdf: negative mean");
+  if (mean == 0.0) return 1.0;
+  // For large means e^-mean underflows, so anchor the sum at pmf(n) in
+  // log space and accumulate the RELATIVE terms pmf(k)/pmf(n) downward
+  // (they decay geometrically with ratio k/mean once k < mean).
+  const double sd = std::sqrt(mean);
+  if (static_cast<double>(n) > mean + 12.0 * sd + 30.0) {
+    return 1.0;  // beyond any representable tail mass
+  }
+  const double log_anchor = -mean + static_cast<double>(n) * std::log(mean) -
+                            std::lgamma(static_cast<double>(n) + 1.0);
+  double rel = 1.0;
+  double sum = 0.0;
+  for (std::uint64_t k = n;; --k) {
+    sum += rel;
+    if (k == 0) break;
+    rel *= static_cast<double>(k) / mean;
+    if (rel < 1e-18 * sum) break;
+  }
+  const double result = std::exp(log_anchor) * sum;
+  return (result > 1.0) ? 1.0 : result;
+}
+
+double poisson_expected_shortfall(std::uint64_t m, double mean) {
+  if (m == 0) return 0.0;
+  double term = std::exp(-mean);
+  double sum = 0.0;
+  for (std::uint64_t n = 0; n < m; ++n) {
+    sum += static_cast<double>(m - n) * term;
+    term *= mean / static_cast<double>(n + 1);
+  }
+  return sum;
+}
+
+}  // namespace continu::analysis

@@ -1,0 +1,23 @@
+#pragma once
+// Numerically stable Poisson distribution helpers.
+//
+// The paper models segment arrival at a node as a Poisson process with
+// rate lambda ~ the node's inbound rate I (Section 5.1). Everything in
+// the continuity model reduces to pmf/cdf evaluations, computed here in
+// log space to stay stable for the large lambda*t the benches sweep.
+
+#include <cstdint>
+
+namespace continu::analysis {
+
+/// P{N(t) = n} for a Poisson process with the given mean = lambda * t.
+[[nodiscard]] double poisson_pmf(std::uint64_t n, double mean);
+
+/// P{N(t) <= n}.
+[[nodiscard]] double poisson_cdf(std::uint64_t n, double mean);
+
+/// E[(m - N)^+] = sum_{n=0}^{m-1} (m - n) P{N = n}: the expected
+/// shortfall below m — the paper's E[N_miss] (eq. 12) with m = p*tau.
+[[nodiscard]] double poisson_expected_shortfall(std::uint64_t m, double mean);
+
+}  // namespace continu::analysis

@@ -1,0 +1,71 @@
+#include "core/buffer_map.hpp"
+
+#include <stdexcept>
+
+namespace continu::core {
+
+namespace {
+
+constexpr std::size_t kHeadBits = 20;
+constexpr std::int64_t kHeadSpan = 1LL << kHeadBits;
+
+void put_bit(std::vector<std::uint8_t>& bytes, std::size_t index, bool value) {
+  if (value) {
+    bytes[index / 8] |= static_cast<std::uint8_t>(1u << (index % 8));
+  }
+}
+
+[[nodiscard]] bool get_bit(const std::vector<std::uint8_t>& bytes, std::size_t index) {
+  return (bytes[index / 8] >> (index % 8)) & 1u;
+}
+
+}  // namespace
+
+EncodedBufferMap encode_buffer_map(const util::BitWindow& window) {
+  EncodedBufferMap out;
+  out.bit_count = buffer_map_bits(window.capacity());
+  out.bytes.assign((out.bit_count + 7) / 8, 0);
+
+  const auto head_mod =
+      static_cast<std::uint32_t>(window.head() % kHeadSpan);
+  for (std::size_t b = 0; b < kHeadBits; ++b) {
+    put_bit(out.bytes, b, (head_mod >> b) & 1u);
+  }
+  for (std::size_t b = 0; b < window.capacity(); ++b) {
+    const SegmentId id = window.head() + static_cast<SegmentId>(b);
+    put_bit(out.bytes, kHeadBits + b, window.test(id));
+  }
+  return out;
+}
+
+util::BitWindow decode_buffer_map(const EncodedBufferMap& image, std::size_t capacity,
+                                  SegmentId reference_head) {
+  if (image.bit_count != buffer_map_bits(capacity)) {
+    throw std::invalid_argument("decode_buffer_map: size mismatch");
+  }
+  std::uint32_t head_mod = 0;
+  for (std::size_t b = 0; b < kHeadBits; ++b) {
+    if (get_bit(image.bytes, b)) head_mod |= (1u << b);
+  }
+  // Reconstruct the absolute head: the value congruent to head_mod
+  // (mod 2^20) closest to the reference estimate.
+  SegmentId base = reference_head - (reference_head % kHeadSpan);
+  SegmentId best = base + head_mod;
+  for (const SegmentId candidate : {best - kHeadSpan, best + kHeadSpan}) {
+    if (candidate >= 0 &&
+        std::abs(candidate - reference_head) < std::abs(best - reference_head)) {
+      best = candidate;
+    }
+  }
+  if (best < 0) best += kHeadSpan;
+
+  util::BitWindow window(capacity, best);
+  for (std::size_t b = 0; b < capacity; ++b) {
+    if (get_bit(image.bytes, kHeadBits + b)) {
+      window.set(best + static_cast<SegmentId>(b));
+    }
+  }
+  return window;
+}
+
+}  // namespace continu::core

@@ -1,0 +1,38 @@
+#pragma once
+// Buffer-map wire format (paper Section 5.4.2): 600 availability bits
+// (one per buffer slot) plus a 20-bit head segment id = 620 bits per
+// exchange. The codec packs to that exact budget; the decoder recovers
+// the window for the scheduler.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitwindow.hpp"
+#include "util/types.hpp"
+
+namespace continu::core {
+
+struct EncodedBufferMap {
+  /// Packed little-endian bit stream: 20 head bits then window bits.
+  std::vector<std::uint8_t> bytes;
+  /// Exact size in bits (= 20 + window capacity).
+  std::size_t bit_count = 0;
+};
+
+/// Number of bits a buffer map for the given window capacity costs.
+[[nodiscard]] constexpr std::size_t buffer_map_bits(std::size_t capacity) noexcept {
+  return 20 + capacity;
+}
+
+/// Encodes head id (mod 2^20 — the source emits < 2^20 segments/hour,
+/// and the decoder disambiguates against its own clock) + window bits.
+[[nodiscard]] EncodedBufferMap encode_buffer_map(const util::BitWindow& window);
+
+/// Decodes an image produced by encode_buffer_map. `reference_head` is
+/// the decoder's estimate of the sender's window head (any value within
+/// +/- 2^19 of the truth reconstructs the exact id).
+[[nodiscard]] util::BitWindow decode_buffer_map(const EncodedBufferMap& image,
+                                                std::size_t capacity,
+                                                SegmentId reference_head);
+
+}  // namespace continu::core

@@ -1,0 +1,113 @@
+#include "core/node.hpp"
+
+#include <algorithm>
+
+#include "analysis/continuity_model.hpp"
+
+namespace continu::core {
+
+namespace {
+[[nodiscard]] UrgentLineConfig urgent_config(const SystemConfig& config) {
+  UrgentLineConfig ul;
+  ul.playback_rate = config.playback_rate;
+  ul.buffer_capacity = config.buffer_capacity;
+  ul.scheduling_period = config.scheduling_period;
+  ul.t_hop = config.t_hop_estimate;
+  ul.t_fetch =
+      analysis::expected_fetch_time_s(config.expected_nodes, config.t_hop_estimate);
+  return ul;
+}
+}  // namespace
+
+Node::Node(NodeId id, std::size_t session_index, const SystemConfig& config,
+           const dht::IdSpace& space, double inbound_rate, double outbound_rate,
+           double ping_ms)
+    : id_(id),
+      session_index_(session_index),
+      ping_ms_(ping_ms),
+      inbound_rate_(inbound_rate),
+      outbound_rate_(outbound_rate),
+      buffer_(config.buffer_capacity, config.playback_rate, config.stall_patience),
+      // Partnerships are bidirectional TCP connections over the overlay's
+      // undirected edges: a node initiates M but also accepts incoming
+      // links, so the set is sized with headroom (degree ~ M on average,
+      // bounded by 2M).
+      neighbors_(2 * config.connected_neighbors),
+      dht_peers_(space, id),
+      overheard_(config.overheard_capacity),
+      backup_(space, id, config.backup_replicas),
+      rates_(/*initial_rate=*/static_cast<double>(config.playback_rate)),
+      urgent_line_(urgent_config(config)) {}
+
+double Node::available_sending_rate(SimTime now) const noexcept {
+  const double backlog_s = std::max(0.0, uplink_free_at_ - now);
+  return outbound_rate_ / (1.0 + backlog_s);
+}
+
+bool Node::begin_transfer(SegmentId id, TransferKind kind, NodeId supplier, SimTime now) {
+  const auto [it, inserted] =
+      inflight_.try_emplace(id, InflightTransfer{kind, supplier, now});
+  (void)it;
+  return inserted;
+}
+
+std::optional<InflightTransfer> Node::end_transfer(SegmentId id) {
+  const auto it = inflight_.find(id);
+  if (it == inflight_.end()) return std::nullopt;
+  InflightTransfer record = it->second;
+  inflight_.erase(it);
+  return record;
+}
+
+bool Node::transfer_pending(SegmentId id) const { return inflight_.contains(id); }
+
+bool Node::begin_prefetch(SegmentId id, SimTime now) {
+  return prefetch_pending_.try_emplace(id, now).second;
+}
+
+void Node::end_prefetch(SegmentId id) { prefetch_pending_.erase(id); }
+
+bool Node::prefetch_pending(SegmentId id) const {
+  return prefetch_pending_.contains(id);
+}
+
+std::vector<SegmentId> Node::expire_prefetches(SimTime cutoff) {
+  std::vector<SegmentId> expired;
+  for (const auto& [segment, started] : prefetch_pending_) {
+    if (started < cutoff) expired.push_back(segment);
+  }
+  for (const SegmentId id : expired) prefetch_pending_.erase(id);
+  return expired;
+}
+
+bool Node::prefetch_tagged(SegmentId id) const {
+  const auto it = prefetch_tags_.find(id);
+  return it != prefetch_tags_.end() && it->second;
+}
+
+void Node::tag_prefetched(SegmentId id) { prefetch_tags_[id] = true; }
+
+void Node::expire_tags(SegmentId horizon) {
+  std::erase_if(prefetch_tags_,
+                [horizon](const auto& kv) { return kv.first < horizon; });
+}
+
+std::vector<SegmentId> Node::drop_transfers_from(NodeId supplier) {
+  std::vector<SegmentId> dropped;
+  for (const auto& [segment, record] : inflight_) {
+    if (record.supplier == supplier) dropped.push_back(segment);
+  }
+  for (const SegmentId id : dropped) inflight_.erase(id);
+  return dropped;
+}
+
+std::vector<SegmentId> Node::expire_transfers(SimTime cutoff) {
+  std::vector<SegmentId> expired;
+  for (const auto& [segment, record] : inflight_) {
+    if (record.requested_at < cutoff) expired.push_back(segment);
+  }
+  for (const SegmentId id : expired) inflight_.erase(id);
+  return expired;
+}
+
+}  // namespace continu::core

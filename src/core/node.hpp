@@ -1,0 +1,167 @@
+#pragma once
+// Per-node state, assembling the software architecture of Figure 1:
+// P2P Overlay Manager (Peer Table), Data Scheduler inputs, Buffer, VoD
+// Data Backup, Rate Controller. Protocol behaviour (who sends what to
+// whom, and when) lives in core::Session, which owns all nodes and the
+// network; this keeps node state independently constructible and
+// testable.
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "core/config.hpp"
+#include "core/rate_controller.hpp"
+#include "core/stream_buffer.hpp"
+#include "core/urgent_line.hpp"
+#include "dht/backup_store.hpp"
+#include "dht/id_space.hpp"
+#include "dht/peer_table.hpp"
+#include "overlay/neighbor_set.hpp"
+#include "overlay/overheard_list.hpp"
+#include "util/types.hpp"
+
+namespace continu::core {
+
+/// How a pending segment transfer was initiated — gossip scheduling or
+/// DHT pre-fetch. Pre-fetched segments carry the paper's "tag" so the
+/// scheduler can recognize repeats (alpha case 2).
+enum class TransferKind : std::uint8_t {
+  kScheduled,  ///< pulled by the gossip scheduler
+  kPrefetch,   ///< fetched on demand through the DHT
+  kPushed,     ///< relayed unrequested (GridMedia-style push)
+};
+
+struct InflightTransfer {
+  TransferKind kind = TransferKind::kScheduled;
+  NodeId supplier = kInvalidNode;
+  SimTime requested_at = 0.0;
+};
+
+class Node {
+ public:
+  Node(NodeId id, std::size_t session_index, const SystemConfig& config,
+       const dht::IdSpace& space, double inbound_rate, double outbound_rate,
+       double ping_ms);
+
+  // --- identity -----------------------------------------------------------
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] std::size_t session_index() const noexcept { return session_index_; }
+  [[nodiscard]] double ping_ms() const noexcept { return ping_ms_; }
+
+  // --- liveness -----------------------------------------------------------
+  [[nodiscard]] bool alive() const noexcept { return alive_; }
+  void set_alive(bool alive) noexcept { alive_ = alive; }
+  [[nodiscard]] bool is_source() const noexcept { return is_source_; }
+  void mark_source() noexcept { is_source_ = true; }
+
+  // --- bandwidth ----------------------------------------------------------
+  [[nodiscard]] double inbound_rate() const noexcept { return inbound_rate_; }
+  [[nodiscard]] double outbound_rate() const noexcept { return outbound_rate_; }
+
+  /// Fluid-model transfer queues: the time at which this node's uplink
+  /// (resp. downlink) next becomes free.
+  [[nodiscard]] SimTime uplink_free_at() const noexcept { return uplink_free_at_; }
+  void set_uplink_free_at(SimTime t) noexcept { uplink_free_at_ = t; }
+  [[nodiscard]] SimTime downlink_free_at() const noexcept { return downlink_free_at_; }
+  void set_downlink_free_at(SimTime t) noexcept { downlink_free_at_ = t; }
+
+  /// Available sending rate advertised in DHT replies: the full uplink
+  /// rate discounted by current backlog (seconds of queued work).
+  [[nodiscard]] double available_sending_rate(SimTime now) const noexcept;
+
+  // --- components (Figure 1) ------------------------------------------------
+  [[nodiscard]] StreamBuffer& buffer() noexcept { return buffer_; }
+  [[nodiscard]] const StreamBuffer& buffer() const noexcept { return buffer_; }
+  [[nodiscard]] overlay::NeighborSet& neighbors() noexcept { return neighbors_; }
+  [[nodiscard]] const overlay::NeighborSet& neighbors() const noexcept { return neighbors_; }
+  [[nodiscard]] dht::PeerTable& dht_peers() noexcept { return dht_peers_; }
+  [[nodiscard]] const dht::PeerTable& dht_peers() const noexcept { return dht_peers_; }
+  [[nodiscard]] overlay::OverheardList& overheard() noexcept { return overheard_; }
+  [[nodiscard]] const overlay::OverheardList& overheard() const noexcept { return overheard_; }
+  [[nodiscard]] dht::BackupStore& backup() noexcept { return backup_; }
+  [[nodiscard]] const dht::BackupStore& backup() const noexcept { return backup_; }
+  [[nodiscard]] RateController& rates() noexcept { return rates_; }
+  [[nodiscard]] UrgentLine& urgent_line() noexcept { return urgent_line_; }
+  [[nodiscard]] const UrgentLine& urgent_line() const noexcept { return urgent_line_; }
+
+  // --- in-flight bookkeeping ----------------------------------------------
+  /// Registers a pending transfer; returns false if one is already
+  /// pending for the segment (no double-request).
+  bool begin_transfer(SegmentId id, TransferKind kind, NodeId supplier, SimTime now);
+
+  /// Completes (erases) the pending entry; returns its record.
+  std::optional<InflightTransfer> end_transfer(SegmentId id);
+
+  [[nodiscard]] bool transfer_pending(SegmentId id) const;
+  [[nodiscard]] std::size_t inflight_count() const noexcept { return inflight_.size(); }
+
+  /// Copy of the in-flight table (for timeout sweeps that mutate it).
+  [[nodiscard]] std::vector<std::pair<SegmentId, InflightTransfer>> inflight_snapshot() const {
+    return {inflight_.begin(), inflight_.end()};
+  }
+
+  // --- pre-fetch bookkeeping (separate from gossip transfers: the two
+  // channels deliberately RACE; the alpha tag mechanism reconciles) ----
+  /// Registers a pending pre-fetch; false if one is already running.
+  bool begin_prefetch(SegmentId id, SimTime now);
+  /// Completes/aborts the pending pre-fetch entry.
+  void end_prefetch(SegmentId id);
+  [[nodiscard]] bool prefetch_pending(SegmentId id) const;
+  [[nodiscard]] std::size_t prefetch_inflight_count() const noexcept {
+    return prefetch_pending_.size();
+  }
+  /// Drops pre-fetch entries started before `cutoff`; returns them.
+  std::vector<SegmentId> expire_prefetches(SimTime cutoff);
+
+  /// Was this segment delivered by pre-fetch (the paper's tag)? Used to
+  /// recognize "repeated data" when gossip later delivers it too.
+  [[nodiscard]] bool prefetch_tagged(SegmentId id) const;
+  void tag_prefetched(SegmentId id);
+  /// Drops tags older than the window head (bounded memory).
+  void expire_tags(SegmentId horizon);
+
+  /// Drops in-flight entries whose supplier died (abrupt failure).
+  /// Returns the affected segment ids.
+  std::vector<SegmentId> drop_transfers_from(NodeId supplier);
+
+  /// Drops in-flight entries requested before `cutoff` (supplier never
+  /// answered — it died mid-request or evicted the segment). Returns
+  /// the affected segment ids so the scheduler may retry them.
+  std::vector<SegmentId> expire_transfers(SimTime cutoff);
+
+  // --- playback-round bookkeeping -------------------------------------------
+  /// Round statistics updated by the session each period.
+  struct RoundStats {
+    std::uint64_t played = 0;
+    std::uint64_t missed = 0;
+  };
+  [[nodiscard]] RoundStats& round_stats() noexcept { return round_stats_; }
+
+ private:
+  NodeId id_;
+  std::size_t session_index_;
+  double ping_ms_;
+  bool alive_ = true;
+  bool is_source_ = false;
+
+  double inbound_rate_;
+  double outbound_rate_;
+  SimTime uplink_free_at_ = 0.0;
+  SimTime downlink_free_at_ = 0.0;
+
+  StreamBuffer buffer_;
+  overlay::NeighborSet neighbors_;
+  dht::PeerTable dht_peers_;
+  overlay::OverheardList overheard_;
+  dht::BackupStore backup_;
+  RateController rates_;
+  UrgentLine urgent_line_;
+
+  std::unordered_map<SegmentId, InflightTransfer> inflight_;
+  std::unordered_map<SegmentId, SimTime> prefetch_pending_;
+  std::unordered_map<SegmentId, bool> prefetch_tags_;
+  RoundStats round_stats_;
+};
+
+}  // namespace continu::core

@@ -1,0 +1,45 @@
+#include "core/rate_controller.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace continu::core {
+
+RateController::RateController(double initial_rate, double smoothing)
+    : initial_rate_(initial_rate), smoothing_(smoothing) {
+  if (initial_rate <= 0.0) {
+    throw std::invalid_argument("RateController: initial rate must be positive");
+  }
+  if (smoothing <= 0.0 || smoothing > 1.0) {
+    throw std::invalid_argument("RateController: smoothing must be in (0, 1]");
+  }
+}
+
+void RateController::on_transfer_complete(NodeId neighbor, double transfer_s) {
+  if (transfer_s < 0.0) {
+    throw std::invalid_argument("RateController: negative transfer time");
+  }
+  const double sample = 1.0 / std::max(transfer_s, kMinTurnaround);
+  auto [it, inserted] = ewma_.try_emplace(neighbor, initial_rate_);
+  it->second = smoothing_ * sample + (1.0 - smoothing_) * it->second;
+}
+
+void RateController::on_transfer_failed(NodeId neighbor) {
+  auto [it, inserted] = ewma_.try_emplace(neighbor, initial_rate_);
+  it->second *= 0.7;
+}
+
+void RateController::on_transfer_refused(NodeId neighbor) {
+  auto [it, inserted] = ewma_.try_emplace(neighbor, initial_rate_);
+  it->second *= 0.9;
+}
+
+double RateController::estimate(NodeId neighbor) const {
+  const auto it = ewma_.find(neighbor);
+  const double raw = (it == ewma_.end()) ? initial_rate_ : it->second;
+  return std::clamp(raw, kFloorRate, kCeilingRate);
+}
+
+void RateController::forget(NodeId neighbor) { ewma_.erase(neighbor); }
+
+}  // namespace continu::core

@@ -1,0 +1,63 @@
+#pragma once
+// Rate Controller (paper Figure 1): monitors and estimates the
+// receiving rate from each connected neighbor. The estimates are the
+// R_ij inputs of the priority model and of Algorithm 1.
+//
+// The estimator samples the turnaround of completed transfers
+// (request -> delivery), which reflects the supplier's real service
+// capacity including queueing, rather than "segments we happened to
+// pull last period" (which self-throttles: booking little lowers the
+// estimate, which books even less, until the supplier freezes out).
+// Estimates are floored so a quiet supplier is still probed with one
+// request per round, letting it recover.
+
+#include <unordered_map>
+
+#include "util/types.hpp"
+
+namespace continu::core {
+
+class RateController {
+ public:
+  /// `initial_rate` seeds the estimate for a neighbor we have never
+  /// transferred from (segments/second); `smoothing` is the EWMA
+  /// factor applied per turnaround sample.
+  explicit RateController(double initial_rate = 10.0, double smoothing = 0.3);
+
+  /// Records one completed transfer from `neighbor` whose payload took
+  /// `transfer_s` seconds on the wire (the receiver's throughput
+  /// measurement: segment size / receive rate).
+  void on_transfer_complete(NodeId neighbor, double transfer_s);
+
+  /// Records a transfer that timed out — decays the estimate hard.
+  void on_transfer_failed(NodeId neighbor);
+
+  /// Records a refusal (supplier saturated this round) — decays the
+  /// estimate mildly so chronic saturation steers bookings elsewhere
+  /// while one-off refusals barely matter.
+  void on_transfer_refused(NodeId neighbor);
+
+  /// Current estimate for the neighbor (segments/second), clamped to
+  /// [floor_rate, ceiling_rate].
+  [[nodiscard]] double estimate(NodeId neighbor) const;
+
+  /// Drops state for a departed neighbor.
+  void forget(NodeId neighbor);
+
+  [[nodiscard]] double initial_rate() const noexcept { return initial_rate_; }
+
+  /// Probe floor: keeps every supplier schedulable for at least one
+  /// segment per period (1/floor < tau for tau = 1 s).
+  static constexpr double kFloorRate = 1.5;
+  /// Sanity ceiling (segments/second).
+  static constexpr double kCeilingRate = 50.0;
+  /// Minimum turnaround accounted, to bound single-sample spikes.
+  static constexpr double kMinTurnaround = 0.02;
+
+ private:
+  double initial_rate_;
+  double smoothing_;
+  std::unordered_map<NodeId, double> ewma_;
+};
+
+}  // namespace continu::core

@@ -1,0 +1,1192 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/continuity_model.hpp"
+#include "core/buffer_map.hpp"
+#include "net/message.hpp"
+#include "trace/topology.hpp"
+#include "util/logging.hpp"
+
+namespace continu::core {
+
+namespace {
+
+using net::MessageType;
+using net::TrafficClass;
+using net::WireCosts;
+
+/// Node-round phase jitter range within a period (the metrics sampler
+/// runs at exact period boundaries, after every node has ticked).
+constexpr double kPhaseLo = 0.05;
+constexpr double kPhaseHi = 0.90;
+/// Churn executes just before the period boundary.
+constexpr double kChurnPhase = 0.95;
+/// In-flight transfers older than this many periods are abandoned.
+constexpr double kTransferTimeoutPeriods = 3.0;
+/// A supplier accepts a transfer only if it completes within this many
+/// periods of the request (Algorithm 1's premise is that transfers
+/// finish inside the scheduling period; the paper's case 3 — "does not
+/// have sufficient available bandwidth" — is a refusal). No standing
+/// backlog accumulates across rounds.
+constexpr double kServeWithinPeriods = 2.0;
+/// How many RP-listed close nodes a joiner probes.
+constexpr std::size_t kJoinProbeCount = 4;
+/// Cap on candidates evaluated per scheduling round (safety bound).
+constexpr std::size_t kMaxCandidates = 400;
+/// Runway (segments) a joiner accumulates before following its
+/// neighbors' play steps — about one scheduling round of pulls.
+constexpr std::size_t kJoinStartSegments = 10;
+/// Cushion a joiner anchors behind its neighbors' play point.
+constexpr std::size_t kJoinBackstep = 20;
+/// Leading request entries a supplier serves in the requester's
+/// priority order (deadline-critical); the rest are served randomly.
+constexpr std::size_t kUrgentHead = 4;
+/// Look-ahead horizon (segments past the play point) the scheduler
+/// pulls toward. Bounds the elastic window-filling demand — without it,
+/// every young node pulls its entire 60 s buffer at full rate and the
+/// aggregate demand under churn permanently exceeds capacity.
+constexpr SegmentId kLookaheadSegments = 150;
+
+}  // namespace
+
+std::uint64_t fit_id_space(std::uint64_t configured, std::size_t nodes) {
+  std::uint64_t size = configured;
+  while (static_cast<double>(nodes) > 0.85 * static_cast<double>(size)) {
+    size *= 2;
+  }
+  return size;
+}
+
+Session::Session(const SystemConfig& config, const trace::TraceSnapshot& snapshot)
+    : config_(config),
+      space_(fit_id_space(config.id_space, snapshot.node_count())),
+      sim_(),
+      network_(sim_, net::LatencyModel::from_trace(snapshot)),
+      directory_(space_),
+      rp_(space_, util::Rng(config.seed ^ 0x5250ULL)),
+      churn_(config.churn, util::Rng(config.seed ^ 0xC4u)),
+      rng_(config.seed) {
+  network_.set_delivery_filter([this](std::size_t to) { return alive_index(to); });
+  // Self-calibrate t_hop from the trace (the paper: "t_hop is ... an
+  // approximate estimation from our simulation experience"). Drives the
+  // urgent line's initial alpha, lower bound and adaptation step.
+  config_.t_hop_estimate = network_.latency().average_latency_ms() / 1000.0;
+  config_.expected_nodes = static_cast<double>(snapshot.node_count());
+  build_nodes(snapshot);
+  assign_initial_neighbors(snapshot);
+  populate_initial_dht();
+  start_processes();
+}
+
+Session::~Session() = default;
+
+void Session::build_nodes(const trace::TraceSnapshot& snapshot) {
+  const std::size_t n = snapshot.node_count();
+  nodes_.reserve(n);
+  round_processes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId id = rp_.assign_id();
+    double inbound =
+        sample_rate(config_.inbound_min, config_.inbound_max, /*skewed=*/true);
+    double outbound =
+        sample_rate(config_.outbound_min, config_.outbound_max, /*skewed=*/false);
+    if (i == 0) {
+      // The source: zero inbound, much larger outbound.
+      inbound = 0.0;
+      outbound = config_.source_outbound;
+    }
+    auto node = std::make_unique<Node>(id, i, config_, space_, inbound, outbound,
+                                       snapshot.nodes()[i].ping_ms);
+    if (i == 0) node->mark_source();
+    directory_.insert(id);
+    rp_.register_node(id);
+    index_of_[id] = i;
+    nodes_.push_back(std::move(node));
+  }
+}
+
+double Session::sample_rate(double lo, double hi, bool skewed) {
+  // Inbound rates: the paper draws "randomly ... from 300 Kbps to
+  // 1 Mbps" with an average of 450 Kbps — skewed toward the low end; a
+  // truncated exponential on [lo, hi] reproduces that (mean at
+  // lo + span/4.6, the lambda ~ 15 of the Section 5.1 theory).
+  //
+  // Outbound rates: the paper only says the arrangement is "alike"
+  // (same range). We read that as uniform on the range (mean 21.5).
+  // This matters: the paper's evaluation model charges no uplink
+  // occupancy at all (arrivals are independent Poisson), while our
+  // fluid model serializes every transfer — granting the uplink the
+  // uniform reading keeps the supply slack its results presuppose.
+  const double span = hi - lo;
+  const double beta = span / 4.45;  // calibrated so the mean ~ lo + span/4.6
+  if (!config_.heterogeneous_bandwidth) {
+    return skewed ? lo + beta * (1.0 - std::exp(-span / beta)) : lo + span / 2.0;
+  }
+  return skewed ? lo + std::min(rng_.next_exponential(1.0 / beta), span)
+                : rng_.next_range(lo, hi);
+}
+
+double Session::sample_ping() {
+  // Same broadband/dial-up mixture as the trace generator.
+  if (rng_.next_bool(0.6)) {
+    return std::min(15.0 + rng_.next_exponential(1.0 / 20.0), 100.0);
+  }
+  return std::min(100.0 + rng_.next_exponential(1.0 / 50.0), 300.0);
+}
+
+void Session::assign_initial_neighbors(const trace::TraceSnapshot& snapshot) {
+  util::Rng topo_rng = rng_.fork();
+  trace::Topology topology(snapshot, config_.connected_neighbors, topo_rng);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& node = *nodes_[i];
+    std::vector<std::uint32_t> adjacency = topology.neighbors(static_cast<std::uint32_t>(i));
+    rng_.shuffle(adjacency);
+    for (const auto peer_index : adjacency) {
+      if (node.neighbors().full()) break;
+      // Partnerships are the undirected overlay edges: install both
+      // directions (TCP connections serve data exchange both ways).
+      Node& peer = *nodes_[peer_index];
+      if (peer.neighbors().full()) continue;
+      const double lat =
+          topology.latency_ms(static_cast<std::uint32_t>(i), peer_index);
+      if (node.neighbors().contains(peer.id())) continue;
+      node.neighbors().add(peer.id(), lat, /*now=*/0.0);
+      peer.neighbors().add(node.id(), lat, /*now=*/0.0);
+    }
+    // Seed the overheard list with a few random peers so early repair
+    // has candidates (models join-time observations).
+    for (int s = 0; s < 5; ++s) {
+      const auto r = static_cast<std::size_t>(rng_.next_below(nodes_.size()));
+      if (r == i) continue;
+      node.overheard().hear(nodes_[r]->id(),
+                            network_.latency().latency_ms(i, r), 0.0);
+    }
+  }
+}
+
+void Session::populate_initial_dht() {
+  // Sorted live IDs for binary-searched arc membership.
+  const std::vector<NodeId> members = directory_.members();  // ascending
+  auto members_in_arc = [&](NodeId lo, NodeId hi, std::vector<NodeId>& out) {
+    out.clear();
+    auto push_range = [&](NodeId a, NodeId b) {
+      auto first = std::lower_bound(members.begin(), members.end(), a);
+      auto last = std::lower_bound(members.begin(), members.end(), b);
+      out.insert(out.end(), first, last);
+    };
+    if (lo <= hi) {
+      push_range(lo, hi);
+    } else {
+      push_range(lo, static_cast<NodeId>(space_.size()));
+      push_range(0, hi);
+    }
+  };
+
+  std::vector<NodeId> arc;
+  for (const auto& node : nodes_) {
+    for (unsigned level = 1; level <= space_.levels(); ++level) {
+      const auto [lo, hi] = space_.level_arc(node->id(), level);
+      members_in_arc(lo, hi, arc);
+      std::erase(arc, node->id());
+      if (arc.empty()) continue;
+      const NodeId pick = arc[rng_.next_below(arc.size())];
+      const auto pick_index = index_of_.at(pick);
+      node->dht_peers().offer(pick,
+                              network_.latency().latency_ms(node->session_index(),
+                                                            pick_index),
+                              /*now=*/0.0);
+    }
+  }
+}
+
+void Session::start_processes() {
+  const double tau = config_.scheduling_period;
+  const double emit_period = 1.0 / static_cast<double>(config_.playback_rate);
+
+  emit_process_ = std::make_unique<sim::PeriodicProcess>(
+      sim_, emit_period, [this] { on_source_emit(); });
+  emit_process_->start(emit_period);
+
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    auto process = std::make_unique<sim::PeriodicProcess>(
+        sim_, tau, [this, i] { on_node_round(i); });
+    process->start(rng_.next_range(kPhaseLo, kPhaseHi) * tau);
+    round_processes_.push_back(std::move(process));
+  }
+
+  sample_process_ =
+      std::make_unique<sim::PeriodicProcess>(sim_, tau, [this] { on_sample_tick(); });
+  sample_process_->start(tau);
+
+  if (config_.churn_enabled) {
+    churn_process_ =
+        std::make_unique<sim::PeriodicProcess>(sim_, tau, [this] { on_churn_tick(); });
+    churn_process_->start(kChurnPhase * tau);
+  }
+}
+
+void Session::run(SimTime duration) { sim_.run_until(duration); }
+
+std::size_t Session::alive_count() const {
+  std::size_t count = 0;
+  for (const auto& node : nodes_) {
+    if (node->alive()) ++count;
+  }
+  return count;
+}
+
+std::optional<std::size_t> Session::index_of(NodeId id) const {
+  const auto it = index_of_.find(id);
+  if (it == index_of_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Session::alive_index(std::size_t index) const {
+  return index < nodes_.size() && nodes_[index]->alive();
+}
+
+std::optional<std::size_t> Session::alive_node_by_id(NodeId id) const {
+  const auto idx = index_of(id);
+  if (!idx.has_value() || !nodes_[*idx]->alive()) return std::nullopt;
+  return idx;
+}
+
+bool Session::in_time(const Node& node, SegmentId id, SimTime now) const {
+  const auto& buffer = node.buffer();
+  if (!buffer.started()) return true;  // no deadline yet
+  if (id < buffer.window_head()) return false;
+  return now <= buffer.deadline(id);
+}
+
+void Session::store_backup_if_responsible(Node& node, SegmentId id) {
+  const auto arc_end = node.dht_peers().closest_clockwise_peer();
+  if (!arc_end.has_value()) return;  // no DHT knowledge yet
+  node.backup().offer(id, *arc_end);
+}
+
+// --------------------------------------------------------------------------
+// Source emission
+// --------------------------------------------------------------------------
+
+void Session::on_source_emit() {
+  Node& source = *nodes_.front();
+  source.buffer().insert(emitted_);
+  store_backup_if_responsible(source, emitted_);
+  if (config_.scheduler == SchedulerKind::kGridMediaPushPull) {
+    push_relay(source, emitted_);
+  }
+  ++emitted_;
+  ++stats_.segments_emitted;
+}
+
+// --------------------------------------------------------------------------
+// Node round
+// --------------------------------------------------------------------------
+
+void Session::on_node_round(std::size_t index) {
+  Node& node = *nodes_[index];
+  if (!node.alive()) return;
+  const SimTime now = sim_.now();
+  const double tau = config_.scheduling_period;
+
+  node.neighbors().fold_supply();
+  repair_neighbors(node);
+
+  // Abandon transfers whose supplier went silent, decaying its rate
+  // estimate so the scheduler backs off.
+  const auto cutoff = now - kTransferTimeoutPeriods * tau;
+  for (const auto& [segment, record] : node.inflight_snapshot()) {
+    if (record.requested_at < cutoff) {
+      if (record.supplier != kInvalidNode) {
+        node.rates().on_transfer_failed(record.supplier);
+      }
+      node.end_transfer(segment);
+      ++stats_.transfer_timeouts;
+    }
+  }
+  stats_.transfer_timeouts += node.expire_prefetches(cutoff).size();
+
+  if (node.buffer().started()) {
+    do_playback(node);
+  } else if (!node.is_source()) {
+    maybe_start_playback(node);
+  }
+
+  exchange_buffer_maps(node);
+
+  if (!node.is_source()) {
+    run_scheduling(node);
+    if (config_.scheduler == SchedulerKind::kContinuStreaming) {
+      run_prefetch(node);
+    }
+    // Mid-round top-up: re-book whatever was refused or newly became
+    // available. (The scheduling PERIOD governs buffer-map exchange;
+    // failed pulls retry as soon as the refusal is known, as any
+    // TCP-based puller would.) Uses a reduced quota so the round's
+    // total stays near I*tau.
+    const std::size_t index = node.session_index();
+    sim_.schedule_in(0.5 * config_.scheduling_period, [this, index] {
+      Node& retry = *nodes_[index];
+      if (retry.alive() && !retry.is_source()) {
+        run_scheduling(retry, /*budget_fraction=*/0.4);
+      }
+    });
+  }
+
+  refresh_dht_peers(node);
+
+  // Garbage-collect state that can no longer matter.
+  if (emitted_ > static_cast<SegmentId>(config_.buffer_capacity)) {
+    node.backup().expire_before(emitted_ - static_cast<SegmentId>(config_.buffer_capacity));
+  }
+  node.expire_tags(node.buffer().window_head());
+}
+
+void Session::repair_neighbors(Node& node) {
+  const SimTime now = sim_.now();
+
+  // Drop dead neighbors.
+  for (const NodeId id : node.neighbors().ids()) {
+    if (!alive_node_by_id(id).has_value()) {
+      node.neighbors().remove(id);
+      node.rates().forget(id);
+      node.overheard().forget(id);
+    }
+  }
+
+  auto excluded = node.neighbors().ids();
+  excluded.push_back(node.id());
+
+  // Refill toward M initiated links from the lowest-latency overheard
+  // candidates; the new partnership is reciprocal.
+  while (node.neighbors().size() < config_.connected_neighbors) {
+    const auto candidate = node.overheard().best_candidate(excluded);
+    if (!candidate.has_value()) break;
+    const auto cidx = alive_node_by_id(candidate->id);
+    if (!cidx.has_value()) {
+      node.overheard().forget(candidate->id);
+      continue;
+    }
+    node.neighbors().add(candidate->id, candidate->latency_ms, now);
+    nodes_[*cidx]->neighbors().add(node.id(), candidate->latency_ms, now);
+    excluded.push_back(candidate->id);
+    ++stats_.neighbor_replacements;
+  }
+
+  // Replace at most one low-supply neighbor per round, and only when
+  // this node is actually struggling (missed a deadline in the current
+  // round) — a healthy node keeps its partnerships stable instead of
+  // thrashing the mesh. Reciprocal add; the dropped side notices the
+  // asymmetry and repairs independently.
+  const bool struggling = node.round_stats().missed > 0;
+  if (struggling && node.neighbors().size() >= config_.connected_neighbors) {
+    const auto weakest = node.neighbors().weakest(now, config_.neighbor_min_age);
+    if (weakest.has_value() && weakest->supply_rate < config_.low_supply_threshold) {
+      const auto candidate = node.overheard().best_candidate(excluded);
+      if (candidate.has_value()) {
+        const auto cidx = alive_node_by_id(candidate->id);
+        if (cidx.has_value()) {
+          node.neighbors().remove(weakest->id);
+          node.rates().forget(weakest->id);
+          node.neighbors().add(candidate->id, candidate->latency_ms, now);
+          nodes_[*cidx]->neighbors().add(node.id(), candidate->latency_ms, now);
+          ++stats_.neighbor_replacements;
+        }
+      }
+    }
+  }
+}
+
+void Session::do_playback(Node& node) {
+  const auto due = node.buffer().advance_playback(sim_.now());
+  for (const auto& segment : due) {
+    if (segment.present) {
+      ++node.round_stats().played;
+    } else {
+      ++node.round_stats().missed;
+    }
+  }
+}
+
+void Session::maybe_start_playback(Node& node) {
+  // Two-tier startup.
+  //
+  // Follow rule (paper Section 5.2): a node whose neighbors already
+  // play "starts its media playback by following its neighbors'
+  // current steps". It anchors a startup cushion BEHIND the
+  // neighborhood play point (those segments are still in every
+  // partner's arrival-FIFO buffer, so they fill at full speed) and
+  // starts after a one-round runway.
+  //
+  // Cold start: with no playing neighbor (the t=0 population), a node
+  // accumulates the full startup window first, anchored at the oldest
+  // segment it obtained — this self-selects a safe depth behind the
+  // live edge.
+  const bool following = [&] {
+    for (const NodeId id : node.neighbors().ids()) {
+      const auto idx = alive_node_by_id(id);
+      if (idx.has_value() && nodes_[*idx]->buffer().started()) return true;
+    }
+    return false;
+  }();
+  const std::size_t runway =
+      following ? kJoinStartSegments : config_.startup_segments;
+  if (!node.buffer().startup_ready(runway)) return;
+  const auto newest = node.buffer().newest();
+  if (!newest.has_value()) return;
+  // Anchor so a FULL startup cushion lies ahead of the play point —
+  // unconditionally. Anchoring at the oldest held segment is
+  // luck-dependent (top-heavy early pulls put it near the live edge and
+  // lock the node — and every follower downstream — into a
+  // hand-to-mouth regime). Anchoring below the oldest held segment is
+  // fine: partners still hold that recent history in their
+  // arrival-FIFO buffers, and the urgency channel fetches it first.
+  const SegmentId anchor =
+      std::max({node.buffer().window_head(),
+                *newest - static_cast<SegmentId>(config_.startup_segments),
+                SegmentId{0}});
+  node.buffer().start_playback(anchor, sim_.now());
+}
+
+void Session::exchange_buffer_maps(Node& node) {
+  // One 620-bit buffer map to each alive neighbor per round. The
+  // content travels as a charge-only message: the scheduler reads the
+  // neighbor's availability directly (fresh map), which is equivalent
+  // at tau >> latency and avoids one simulator event per map.
+  const Bits map_bits = buffer_map_bits(config_.buffer_capacity);
+  const SimTime now = sim_.now();
+  for (const NodeId id : node.neighbors().ids()) {
+    const auto idx = alive_node_by_id(id);
+    if (!idx.has_value()) continue;
+    network_.charge_only(MessageType::kBufferMap, map_bits);
+    // Membership piggyback: each exchange also carries a couple of
+    // peer-table entries (the membership gossip of Ganesh et al. that
+    // CoolStreaming builds on). This keeps the Overheard list fresh so
+    // the "supplied little data" replacement policy can actually find
+    // better partners. Charged as maintenance — the paper's control
+    // overhead counts only the 620 buffer-map bits.
+    const Node& peer = *nodes_[*idx];
+    network_.charge_only(MessageType::kJoinNotify, 2 * 48);
+    const auto peer_neighbors = peer.neighbors().ids();
+    for (int pick = 0; pick < 2 && !peer_neighbors.empty(); ++pick) {
+      const NodeId heard = peer_neighbors[rng_.next_below(peer_neighbors.size())];
+      if (heard == node.id()) continue;
+      const auto hidx = alive_node_by_id(heard);
+      if (!hidx.has_value()) continue;
+      node.overheard().hear(
+          heard, network_.latency().latency_ms(node.session_index(), *hidx), now);
+    }
+  }
+}
+
+void Session::run_scheduling(Node& node, double budget_fraction) {
+  const SimTime now = sim_.now();
+  const double tau = config_.scheduling_period;
+
+  // Collect alive neighbor views.
+  struct NeighborView {
+    std::size_t index;
+    NodeId id;
+    double rate;
+    SegmentId newest;
+  };
+  std::vector<NeighborView> views;
+  for (const NodeId id : node.neighbors().ids()) {
+    const auto idx = alive_node_by_id(id);
+    if (!idx.has_value()) continue;
+    const Node& peer = *nodes_[*idx];
+    const auto newest = peer.buffer().newest();
+    if (!newest.has_value()) continue;
+    views.push_back(NeighborView{*idx, id, node.rates().estimate(id), *newest});
+  }
+  if (views.empty()) return;
+
+  // Candidate range: from just past the play point (or the neighbors'
+  // oldest coverage before playback starts) to the freshest segment any
+  // neighbor holds.
+  const bool started = node.buffer().started();
+  SegmentId lo;
+  if (started) {
+    lo = node.buffer().play_point(now) + 1;
+  } else {
+    // Join rule: request "the data segments being played or will be
+    // played by its neighbors" — anchor one startup cushion BEHIND the
+    // most conservative started neighbor's play point (the partners
+    // still hold that history, so the cushion fills at full speed).
+    // Before anyone plays, fall back to the oldest content any
+    // neighbor holds.
+    SegmentId follow = kInvalidSegment;
+    SegmentId oldest = views.front().newest;
+    for (const auto& view : views) {
+      const Node& peer = *nodes_[view.index];
+      if (peer.buffer().started()) {
+        const SegmentId p = peer.buffer().play_point(now) + 1;
+        follow = (follow == kInvalidSegment) ? p : std::min(follow, p);
+      }
+      const auto low = peer.buffer().window().lowest();
+      if (low.has_value()) oldest = std::min(oldest, *low);
+    }
+    if (follow != kInvalidSegment) {
+      lo = std::max<SegmentId>(oldest,
+                               follow - static_cast<SegmentId>(kJoinBackstep));
+    } else {
+      lo = oldest;
+    }
+  }
+  lo = std::max<SegmentId>(lo, 0);
+  SegmentId hi = lo;
+  for (const auto& view : views) hi = std::max(hi, view.newest + 1);
+  hi = std::min(hi, lo + static_cast<SegmentId>(config_.buffer_capacity));
+  hi = std::min(hi, lo + kLookaheadSegments);
+
+  // Build candidates: fresh segments = in some neighbor's buffer, not
+  // ours, not in flight.
+  ScheduleRequest request;
+  request.period = tau;
+  request.priority_inputs.play_point =
+      started ? node.buffer().play_point(now) : kInvalidSegment;
+  request.priority_inputs.playback_rate = config_.playback_rate;
+  request.priority_inputs.buffer_capacity = config_.buffer_capacity;
+
+  // Inbound quota (Algorithm 1 line 1): min(m, I*tau). The downlink
+  // queue model enforces actual absorption; transfer_pending prevents
+  // double-booking, so no further subtraction is needed here.
+  const double budget_raw = node.inbound_rate() * tau * budget_fraction;
+  if (budget_raw < 1.0) return;
+  request.inbound_budget = static_cast<std::size_t>(budget_raw);
+  // No per-supplier cap: Algorithm 1's queue-time term is the paper's
+  // own limiter, and the frontier (e.g. the source's neighbors pulling
+  // the live edge) must be able to use a supplier's full rate.
+  request.rank_jitter = 0.8;
+  request.jitter_seed = node.id();
+
+  for (SegmentId id = lo; id < hi; ++id) {
+    if (node.buffer().has(id) || node.transfer_pending(id)) continue;
+    Candidate candidate;
+    candidate.id = id;
+    for (const auto& view : views) {
+      if (!nodes_[view.index]->buffer().has(id)) continue;
+      SupplierOffer offer;
+      offer.supplier = view.id;
+      offer.rate = view.rate;
+      const auto distance = static_cast<std::size_t>(
+          std::max<SegmentId>(view.newest - id + 1, 1));
+      offer.buffer_position = std::min(distance, config_.buffer_capacity);
+      candidate.offers.push_back(offer);
+    }
+    if (!candidate.offers.empty()) {
+      request.candidates.push_back(std::move(candidate));
+    }
+    if (request.candidates.size() >= kMaxCandidates) break;
+  }
+  if (request.candidates.empty()) return;
+
+  // GridMedia's pull half uses the same rarest-first rule as the
+  // CoolStreaming baseline; pushes handle the fresh edge.
+  const ScheduleResult result = (config_.scheduler == SchedulerKind::kContinuStreaming)
+                                    ? schedule_continu(request)
+                                    : schedule_coolstreaming(request);
+  stats_.candidates_seen += request.candidates.size();
+  stats_.candidates_unassigned += result.unassigned;
+  stats_.segments_booked += result.assignments.size();
+
+  // Group assignments per supplier into one pull request each.
+  std::unordered_map<NodeId, std::vector<SegmentId>> per_supplier;
+  for (const auto& assignment : result.assignments) {
+    if (!node.begin_transfer(assignment.segment, TransferKind::kScheduled,
+                             assignment.supplier, now)) {
+      continue;
+    }
+    per_supplier[assignment.supplier].push_back(assignment.segment);
+  }
+  for (auto& [supplier_id, ids] : per_supplier) {
+    const auto supplier_index = alive_node_by_id(supplier_id);
+    if (!supplier_index.has_value()) continue;
+    const auto bits =
+        static_cast<Bits>(ids.size()) * WireCosts::kSegmentRequestPerIdBits;
+    ++stats_.requests_sent;
+    const std::size_t requester = node.session_index();
+    const std::size_t supplier = *supplier_index;
+    network_.send(requester, supplier, MessageType::kSegmentRequest, bits,
+                  [this, supplier, requester, ids = std::move(ids)]() mutable {
+                    handle_segment_request(supplier, requester, std::move(ids));
+                  });
+  }
+}
+
+// --------------------------------------------------------------------------
+// Transfers
+// --------------------------------------------------------------------------
+
+void Session::handle_segment_request(std::size_t supplier, std::size_t requester,
+                                     std::vector<SegmentId> ids) {
+  Node& sup = *nodes_[supplier];
+  if (!sup.alive()) return;
+  const SimTime now = sim_.now();
+  const double horizon = kServeWithinPeriods * config_.scheduling_period;
+  const double service_time = 1.0 / std::max(sup.outbound_rate(), 0.01);
+  // Keep the urgent head of the request in priority order (the
+  // requester ranked deadline-critical segments first), but serve the
+  // elastic tail in RANDOM order: if every supplier served each
+  // identically-ordered request front-to-back, all requesters would end
+  // up with the same segments and gossip exchange would die out.
+  if (ids.size() > kUrgentHead) {
+    std::vector<SegmentId> tail(ids.begin() + kUrgentHead, ids.end());
+    rng_.shuffle(tail);
+    std::copy(tail.begin(), tail.end(), ids.begin() + kUrgentHead);
+  }
+  std::vector<SegmentId> refused;
+  for (const SegmentId id : ids) {
+    // Accept only transfers that complete within the service horizon of
+    // this request — the supplier keeps no standing backlog.
+    const bool overloaded =
+        std::max(sup.uplink_free_at(), now) + service_time - now > horizon;
+    const bool gone = !sup.buffer().has(id) && !sup.backup().has(id);
+    if (overloaded || gone) {
+      // The paper's case 3 (no available bandwidth) or an eviction race:
+      // refuse explicitly so the requester can reschedule immediately
+      // instead of waiting out a timeout.
+      ++stats_.segments_refused;
+      refused.push_back(id);
+      continue;
+    }
+    start_fluid_transfer(supplier, requester, id, MessageType::kSegmentData,
+                         TransferKind::kScheduled);
+  }
+  if (!refused.empty()) {
+    network_.send(supplier, requester, MessageType::kRequestNack,
+                  WireCosts::kSmallPacketBits,
+                  [this, requester, supplier_id = sup.id(),
+                   refused = std::move(refused)] {
+                    // A refusal frees the in-flight slots for the next
+                    // round and mildly decays the supplier's estimate so
+                    // chronic saturation steers bookings elsewhere.
+                    // (Immediate rescheduling would retry the same
+                    // saturated supplier in a tight loop.)
+                    Node& req = *nodes_[requester];
+                    if (!req.alive()) return;
+                    for (const SegmentId id : refused) {
+                      req.end_transfer(id);
+                    }
+                    req.rates().on_transfer_refused(supplier_id);
+                  });
+  }
+}
+
+void Session::start_fluid_transfer(std::size_t supplier, std::size_t requester,
+                                   SegmentId id, net::MessageType type,
+                                   TransferKind kind) {
+  Node& sup = *nodes_[supplier];
+  const SimTime now = sim_.now();
+
+  // Tandem-queue fluid model. Stage 1: the supplier's uplink serializes
+  // departures at its outbound rate. Stage 2 (at arrival time): the
+  // receiver's downlink serializes deliveries at its inbound rate. The
+  // two queues pipeline — a wait at the uplink does not occupy the
+  // receiver's downlink.
+  const double up_rate = std::max(sup.outbound_rate(), 0.01);
+  const SimTime departure = std::max(now, sup.uplink_free_at()) + 1.0 / up_rate;
+  sup.set_uplink_free_at(departure);
+
+  const NodeId supplier_id = sup.id();
+  const double bottleneck =
+      std::max(1.0 / up_rate, 1.0 / std::max(nodes_[requester]->inbound_rate(), 0.01));
+  network_.send(supplier, requester, type, WireCosts::kSegmentBits,
+                [this, requester, id, kind, supplier_id, bottleneck] {
+                  // Stage 2: queue on the receiver's downlink.
+                  Node& req = *nodes_[requester];
+                  if (!req.alive()) return;
+                  const SimTime arrival = sim_.now();
+                  const double down_rate = std::max(req.inbound_rate(), 0.01);
+                  const SimTime done =
+                      std::max(arrival, req.downlink_free_at()) + 1.0 / down_rate;
+                  req.set_downlink_free_at(done);
+                  sim_.schedule_at(done, [this, requester, id, kind, supplier_id,
+                                          bottleneck] {
+                    deliver_segment(requester, id, kind, supplier_id, bottleneck);
+                  });
+                },
+                /*extra_delay=*/departure - now);
+}
+
+void Session::deliver_segment(std::size_t receiver, SegmentId id, TransferKind kind,
+                              NodeId supplier, double transfer_duration) {
+  Node& node = *nodes_[receiver];
+  if (!node.alive()) return;
+  const SimTime now = sim_.now();
+
+  const auto record = (kind == TransferKind::kScheduled)
+                          ? node.end_transfer(id)
+                          : std::optional<InflightTransfer>{};
+  if (kind == TransferKind::kPrefetch) node.end_prefetch(id);
+  const bool fresh = node.buffer().insert(id);
+  ++stats_.segments_delivered;
+  if (!fresh) ++stats_.duplicate_deliveries;
+
+  if (kind == TransferKind::kPushed) {
+    // Unsolicited relay: credit the supplier's supply score (it spent
+    // uplink on us) but take no R_ij sample — we never requested it.
+    node.neighbors().record_supply_event(supplier);
+    store_backup_if_responsible(node, id);
+    if (fresh && config_.scheduler == SchedulerKind::kGridMediaPushPull) {
+      push_relay(node, id);
+    }
+    return;
+  }
+
+  if (kind == TransferKind::kScheduled) {
+    // The receiver measures the connection's throughput over the
+    // transfer itself (bytes/time while receiving) — propagation
+    // latency does not dilute the R_ij estimate.
+    (void)record;
+    node.rates().on_transfer_complete(supplier, transfer_duration);
+    node.neighbors().record_supply_event(supplier);
+    // Repeated data (alpha case 2): gossip delivered a segment that
+    // pre-fetch had already fetched, and in time.
+    if (!fresh && node.prefetch_tagged(id) && in_time(node, id, now)) {
+      node.urgent_line().on_repeated_prefetch();
+    }
+  } else {
+    ++stats_.prefetch_succeeded;
+    node.tag_prefetched(id);
+    if (fresh) {
+      // Overdue data (alpha case 1): the pre-fetch landed too late.
+      if (!in_time(node, id, now)) {
+        node.urgent_line().on_overdue_prefetch();
+      }
+    } else if (in_time(node, id, now)) {
+      // Gossip beat the pre-fetch and the deadline: repeated data.
+      node.urgent_line().on_repeated_prefetch();
+    }
+  }
+
+  store_backup_if_responsible(node, id);
+
+  // GridMedia-style relay: "a pushing packet is relayed by a neighbor
+  // as soon as it is received". Duplicates die out at receivers that
+  // already hold the segment.
+  if (fresh && config_.scheduler == SchedulerKind::kGridMediaPushPull) {
+    push_relay(node, id);
+  }
+}
+
+void Session::push_relay(Node& node, SegmentId id) {
+  // Relay to partners that (per their current buffer map) lack the
+  // segment. The source seeds with the full fan-out; relays forward to
+  // one partner each — an unthrottled fan-out cascade floods every
+  // uplink with duplicates (exactly the overhead the paper criticizes
+  // GridMedia for), starving the pull plane. Respect the uplink
+  // admission horizon so pushes cannot monopolize a saturated uplink.
+  const std::size_t fanout =
+      node.is_source() ? config_.push_fanout + 2 : std::size_t{1};
+  auto partners = node.neighbors().ids();
+  rng_.shuffle(partners);
+  std::size_t pushed = 0;
+  for (const NodeId partner : partners) {
+    if (pushed >= fanout) break;
+    const auto pidx = alive_node_by_id(partner);
+    if (!pidx.has_value()) continue;
+    Node& peer = *nodes_[*pidx];
+    if (peer.buffer().has(id)) continue;
+    const double horizon = kServeWithinPeriods * config_.scheduling_period;
+    const double service = 1.0 / std::max(node.outbound_rate(), 0.01);
+    if (std::max(node.uplink_free_at(), sim_.now()) + service - sim_.now() > horizon) {
+      break;  // uplink saturated: pulls take precedence
+    }
+    start_fluid_transfer(node.session_index(), *pidx, id, MessageType::kSegmentData,
+                         TransferKind::kPushed);
+    ++stats_.segments_pushed;
+    ++pushed;
+  }
+}
+
+// --------------------------------------------------------------------------
+// On-demand data retrieval (Algorithm 2)
+// --------------------------------------------------------------------------
+
+void Session::run_prefetch(Node& node) {
+  const SimTime now = sim_.now();
+  const auto& buffer = node.buffer();
+  if (!buffer.started()) return;  // no deadlines to protect yet
+
+  // The urgent region starts just past the play point (the "head" of
+  // the unplayed buffer in Figure 4's sense).
+  const SegmentId head =
+      std::max(buffer.play_point(now) + 1, buffer.window_head());
+  const SegmentId urgent = node.urgent_line().urgent_id(head);
+  // Predicted-missed: white (absent) segments at or below the urgent
+  // line that are not already on their way, and actually exist.
+  const SegmentId limit = std::min(urgent + 1, emitted_);
+  // Predicted-missed segments. For IMMINENT deadlines (within t_fetch
+  // of the play point) the pre-fetch channel deliberately RACES any
+  // pending gossip request — if gossip wins in time, that is exactly
+  // the paper's "repeated data" case and alpha shrinks. Further out,
+  // a segment already riding a gossip request is not yet "predicted
+  // missed" and is left to the scheduler.
+  const double t_fetch = analysis::expected_fetch_time_s(
+      config_.expected_nodes, config_.t_hop_estimate);
+  const SegmentId imminent =
+      head + static_cast<SegmentId>(std::ceil(
+                 static_cast<double>(config_.playback_rate) * t_fetch)) + 1;
+  std::vector<SegmentId> missed;
+  for (const SegmentId id : buffer.missing_in(head, limit)) {
+    if (node.prefetch_pending(id)) continue;
+    if (id >= imminent && node.transfer_pending(id)) continue;
+    missed.push_back(id);
+  }
+
+  const std::size_t quota = prefetch_quota(missed.size(), config_.prefetch_limit);
+  if (quota == 0 && !missed.empty()) ++stats_.prefetch_suppressed;
+  // Pre-fetch shares the inbound rate with the scheduler: skip when the
+  // downlink is already saturated with scheduled arrivals.
+  const double backlog_s = std::max(0.0, node.downlink_free_at() - now);
+  if (backlog_s > 0.5 * config_.scheduling_period) return;
+
+  for (std::size_t i = 0; i < quota; ++i) {
+    launch_prefetch(node.session_index(), missed[i]);
+  }
+  (void)now;
+}
+
+void Session::launch_prefetch(std::size_t origin, SegmentId segment) {
+  Node& node = *nodes_[origin];
+  if (!node.begin_prefetch(segment, sim_.now())) {
+    return;
+  }
+  ++stats_.prefetch_launched;
+
+  auto op = std::make_shared<PrefetchOp>();
+  op->origin = origin;
+  op->segment = segment;
+  op->pending_replies = config_.backup_replicas;
+
+  for (unsigned replica = 1; replica <= config_.backup_replicas; ++replica) {
+    const NodeId target = space_.backup_target(segment, replica);
+    route_hop(origin, target, origin, op, 0);
+  }
+}
+
+void Session::route_hop(std::size_t current, NodeId target, std::size_t origin,
+                        const std::shared_ptr<PrefetchOp>& op, unsigned hops) {
+  Node& node = *nodes_[current];
+  const auto hop_cap = static_cast<unsigned>(std::ceil(space_.hop_upper_bound())) + 2;
+  if (hops > hop_cap) {
+    ++stats_.dht_route_failures;
+    finish_locate(current, op);
+    return;
+  }
+
+  for (;;) {
+    const auto next = node.dht_peers().next_hop(target);
+    if (!next.has_value()) {
+      finish_locate(current, op);
+      return;
+    }
+    const auto next_index = alive_node_by_id(*next);
+    if (!next_index.has_value()) {
+      node.dht_peers().evict(*next);  // stale entry: peer is gone
+      continue;
+    }
+    ++stats_.dht_route_messages;
+    const std::size_t nidx = *next_index;
+    network_.send(current, nidx, MessageType::kDhtRoute, WireCosts::kDhtRouteBits,
+                  [this, nidx, target, origin, op, hops, current] {
+                    // Overhearing: the forwarding node learns about the
+                    // query origin and the previous hop for free.
+                    Node& here = *nodes_[nidx];
+                    const Node& org = *nodes_[origin];
+                    const Node& prev = *nodes_[current];
+                    const SimTime now = sim_.now();
+                    if (org.alive() && org.id() != here.id()) {
+                      here.overheard().hear(
+                          org.id(),
+                          network_.latency().latency_ms(nidx, origin), now);
+                    }
+                    if (prev.alive() && prev.id() != here.id()) {
+                      here.overheard().hear(
+                          prev.id(),
+                          network_.latency().latency_ms(nidx, current), now);
+                    }
+                    route_hop(nidx, target, origin, op, hops + 1);
+                  });
+    return;
+  }
+}
+
+void Session::finish_locate(std::size_t terminal, const std::shared_ptr<PrefetchOp>& op) {
+  Node& owner = *nodes_[terminal];
+  const bool has =
+      owner.backup().has(op->segment) || owner.buffer().has(op->segment);
+  const double rate = owner.available_sending_rate(sim_.now());
+  network_.send(terminal, op->origin, MessageType::kDhtReply, WireCosts::kDhtReplyBits,
+                [this, op, terminal, has, rate] {
+                  on_prefetch_reply(op, terminal, has, rate);
+                });
+}
+
+void Session::on_prefetch_reply(const std::shared_ptr<PrefetchOp>& op, std::size_t owner,
+                                bool has_segment, double rate) {
+  if (has_segment && rate > op->best_rate) {
+    op->best_rate = rate;
+    op->best_owner = owner;
+  }
+  if (op->pending_replies == 0) return;  // defensive: already resolved
+  if (--op->pending_replies > 0) return;
+
+  Node& origin = *nodes_[op->origin];
+  if (!origin.alive()) return;
+  if (!op->best_owner.has_value()) {
+    ++stats_.prefetch_no_replica;
+    origin.end_prefetch(op->segment);
+    return;
+  }
+  const std::size_t chosen = *op->best_owner;
+  network_.send(op->origin, chosen, MessageType::kPrefetchRequest,
+                WireCosts::kPrefetchRequestBits, [this, chosen, op] {
+                  handle_prefetch_request(chosen, op->origin, op->segment);
+                });
+}
+
+void Session::handle_prefetch_request(std::size_t owner, std::size_t origin,
+                                      SegmentId segment) {
+  Node& node = *nodes_[owner];
+  if (!node.alive()) return;
+  if (!node.backup().has(segment) && !node.buffer().has(segment)) return;
+  // Pre-fetch transfers are deadline-critical: the origin picked this
+  // owner for its available sending rate, so serve unless the uplink is
+  // severely backed up (then the origin's timeout recovers).
+  if (node.uplink_free_at() - sim_.now() >
+      2.0 * kServeWithinPeriods * config_.scheduling_period) {
+    return;
+  }
+  start_fluid_transfer(owner, origin, segment, MessageType::kPrefetchData,
+                       TransferKind::kPrefetch);
+}
+
+// --------------------------------------------------------------------------
+// DHT peer refresh (overhearing-driven maintenance)
+// --------------------------------------------------------------------------
+
+void Session::refresh_dht_peers(Node& node) {
+  const SimTime now = sim_.now();
+  for (const auto& heard : node.overheard().entries()) {
+    node.dht_peers().offer(heard.id, heard.latency_ms, now);
+  }
+  // Evict any DHT peer we know to be dead (cheap liveness sweep).
+  for (const auto& peer : node.dht_peers().peers()) {
+    if (!alive_node_by_id(peer.id).has_value()) {
+      node.dht_peers().evict(peer.id);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Churn
+// --------------------------------------------------------------------------
+
+void Session::on_churn_tick() {
+  std::vector<std::size_t> alive;
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {  // source never churns
+    if (nodes_[i]->alive()) alive.push_back(i);
+  }
+  const overlay::ChurnBatch batch = churn_.plan(alive);
+
+  std::vector<NodeId> dead_ids;
+  for (const auto index : batch.graceful_leavers) {
+    dead_ids.push_back(nodes_[index]->id());
+    kill_node(index, /*graceful=*/true);
+  }
+  for (const auto index : batch.abrupt_leavers) {
+    dead_ids.push_back(nodes_[index]->id());
+    kill_node(index, /*graceful=*/false);
+  }
+
+  // Abandon in-flight transfers sourced from the departed.
+  if (!dead_ids.empty()) {
+    for (const auto& node : nodes_) {
+      if (!node->alive()) continue;
+      for (const NodeId dead : dead_ids) {
+        node->drop_transfers_from(dead);
+      }
+    }
+  }
+
+  for (std::size_t j = 0; j < batch.joins; ++j) {
+    do_join();
+  }
+}
+
+void Session::kill_node(std::size_t index, bool graceful) {
+  Node& node = *nodes_[index];
+  if (!node.alive() || node.is_source()) return;
+
+  if (graceful) {
+    ++stats_.graceful_leaves;
+    // Hand the VoD backup to the counter-clockwise closest alive node.
+    const auto heir_id = directory_.predecessor_of(node.id());
+    if (heir_id.has_value()) {
+      const auto heir_index = alive_node_by_id(*heir_id);
+      if (heir_index.has_value()) {
+        const auto contents = node.backup().take_all();
+        const auto bits = WireCosts::kSmallPacketBits +
+                          static_cast<Bits>(contents.size()) * WireCosts::kSegmentBits;
+        Node& heir = *nodes_[*heir_index];
+        network_.send(index, *heir_index, MessageType::kHandover, bits,
+                      [&heir, contents] {
+                        for (const SegmentId id : contents) heir.backup().store(id);
+                      });
+      }
+    }
+  } else {
+    ++stats_.abrupt_leaves;
+  }
+
+  node.set_alive(false);
+  directory_.erase(node.id());
+  rp_.report_failure(node.id());
+  index_of_.erase(node.id());
+  round_processes_[index]->stop();
+}
+
+void Session::do_join() {
+  NodeId id;
+  try {
+    id = rp_.assign_id();
+  } catch (const std::exception&) {
+    return;  // ID space exhausted; skip this join
+  }
+  const double ping = sample_ping();
+  const std::size_t index = network_.latency().add_node(ping);
+  auto node = std::make_unique<Node>(
+      id, index, config_, space_,
+      sample_rate(config_.inbound_min, config_.inbound_max, /*skewed=*/true),
+      sample_rate(config_.outbound_min, config_.outbound_max, /*skewed=*/false),
+      ping);
+  const SimTime now = sim_.now();
+  ++stats_.joins;
+
+  // RP bootstrap: probe the closest listed nodes, pick the nearest
+  // alive one as the Peer Table base.
+  const auto close = rp_.close_nodes(id, kJoinProbeCount);
+  std::optional<std::size_t> base;
+  double base_latency = 0.0;
+  for (const NodeId candidate : close) {
+    const auto cidx = alive_node_by_id(candidate);
+    // PING + PONG (the probe happens whether or not the peer is alive).
+    network_.charge_only(MessageType::kPing, WireCosts::kSmallPacketBits);
+    if (!cidx.has_value()) {
+      rp_.report_failure(candidate);
+      continue;
+    }
+    network_.charge_only(MessageType::kPong, WireCosts::kSmallPacketBits);
+    const double lat = network_.latency().latency_ms(index, *cidx);
+    if (!base.has_value() || lat < base_latency) {
+      base = cidx;
+      base_latency = lat;
+    }
+  }
+
+  if (base.has_value()) {
+    const Node& base_node = *nodes_[*base];
+    // Seed overheard from the base's Peer Table.
+    node->overheard().hear(base_node.id(), base_latency, now);
+    for (const auto& entry : base_node.overheard().entries()) {
+      if (entry.id == id) continue;
+      const auto eidx = index_of(entry.id);
+      if (!eidx.has_value()) continue;
+      node->overheard().hear(entry.id, network_.latency().latency_ms(index, *eidx), now);
+    }
+    for (const NodeId nb : base_node.neighbors().ids()) {
+      const auto nidx = index_of(nb);
+      if (!nidx.has_value() || nb == id) continue;
+      node->overheard().hear(nb, network_.latency().latency_ms(index, *nidx), now);
+    }
+    // Seed DHT peers from the base's table (levels recompute for the
+    // new owner inside offer()).
+    for (const auto& peer : base_node.dht_peers().peers()) {
+      node->dht_peers().offer(peer.id, peer.latency_ms, now);
+    }
+    node->dht_peers().offer(base_node.id(), base_latency, now);
+
+    // Connect to up to M lowest-latency alive candidates (reciprocal).
+    std::vector<NodeId> excluded{id};
+    while (node->neighbors().size() < config_.connected_neighbors) {
+      const auto candidate = node->overheard().best_candidate(excluded);
+      if (!candidate.has_value()) break;
+      excluded.push_back(candidate->id);
+      const auto cidx = alive_node_by_id(candidate->id);
+      if (!cidx.has_value()) continue;
+      node->neighbors().add(candidate->id, candidate->latency_ms, now);
+      nodes_[*cidx]->neighbors().add(id, candidate->latency_ms, now);
+      network_.charge_only(MessageType::kJoinNotify, WireCosts::kSmallPacketBits);
+    }
+  }
+
+  directory_.insert(id);
+  rp_.register_node(id);
+  index_of_[id] = index;
+  nodes_.push_back(std::move(node));
+
+  auto process = std::make_unique<sim::PeriodicProcess>(
+      sim_, config_.scheduling_period, [this, index] { on_node_round(index); });
+  process->start(rng_.next_range(kPhaseLo, kPhaseHi) * config_.scheduling_period);
+  round_processes_.push_back(std::move(process));
+}
+
+// --------------------------------------------------------------------------
+// Metrics sampling
+// --------------------------------------------------------------------------
+
+void Session::on_sample_tick() {
+  const SimTime now = sim_.now();
+  std::uint64_t continuous = 0;
+  std::uint64_t counted = 0;
+  std::uint64_t played_total = 0;
+  std::uint64_t due_total = 0;
+  double alpha_sum = 0.0;
+  std::uint64_t alpha_count = 0;
+
+  for (const auto& node : nodes_) {
+    if (!node->alive() || node->is_source()) continue;
+    ++counted;
+    auto& rs = node->round_stats();
+    if (node->buffer().started() && rs.missed == 0 && rs.played > 0) {
+      ++continuous;
+    }
+    played_total += rs.played;
+    due_total += rs.played + rs.missed;
+    rs = Node::RoundStats{};
+    alpha_sum += node->urgent_line().alpha();
+    ++alpha_count;
+  }
+  continuity_.record_round(now, continuous, counted);
+  collector_.record("continuity", now,
+                    counted == 0 ? 0.0
+                                 : static_cast<double>(continuous) /
+                                       static_cast<double>(counted));
+  // The per-SEGMENT "continuity index" other papers report (Section
+  // 5.3): fraction of due segments that arrived in time this round.
+  // Always >= the paper's strict node-level metric — recorded so the
+  // two can be compared directly (see bench_fig5/6 and EXPERIMENTS.md).
+  collector_.record("continuity_index", now,
+                    due_total == 0 ? 0.0
+                                   : static_cast<double>(played_total) /
+                                         static_cast<double>(due_total));
+  if (alpha_count > 0) {
+    collector_.record("alpha_mean", now, alpha_sum / static_cast<double>(alpha_count));
+  }
+
+  // Per-round overhead deltas and cumulative ratios.
+  const auto& traffic = network_.traffic();
+  const auto delta = traffic.since(last_traffic_snapshot_);
+  collector_.record("control_overhead_round", now, delta.control_overhead());
+  collector_.record("prefetch_overhead_round", now, delta.prefetch_overhead());
+  collector_.record("control_overhead_cumulative", now, traffic.control_overhead());
+  collector_.record("prefetch_overhead_cumulative", now, traffic.prefetch_overhead());
+  collector_.record("alive_nodes", now, static_cast<double>(alive_count()));
+  last_traffic_snapshot_ = traffic;
+}
+
+}  // namespace continu::core

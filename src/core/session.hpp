@@ -1,0 +1,186 @@
+#pragma once
+// Full-session driver: owns the simulator, the network, every node and
+// all protocol behaviour. One Session is one run of either system
+// (ContinuStreaming or the CoolStreaming baseline — chosen by
+// SystemConfig::scheduler) on one trace topology.
+//
+// The session wires together:
+//   * source emission (segment s appears at t = s/p),
+//   * per-node scheduling rounds (buffer-map charge, Algorithm 1 or
+//     rarest-first, pull requests, fluid-model transfers),
+//   * the DHT plane (routing chains with overhearing, VoD backups,
+//     Algorithm 2 on-demand retrieval, alpha adaptation),
+//   * churn (graceful handover / abrupt failure / RP-bootstrapped join),
+//   * metrics (per-round playback continuity, overhead tracks).
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/node.hpp"
+#include "core/scheduler.hpp"
+#include "dht/id_space.hpp"
+#include "dht/ring_directory.hpp"
+#include "metrics/collector.hpp"
+#include "metrics/continuity.hpp"
+#include "net/network.hpp"
+#include "overlay/churn.hpp"
+#include "overlay/rendezvous.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace continu::core {
+
+/// Aggregate event counters exposed for tests, benches and examples.
+struct SessionStats {
+  std::uint64_t segments_emitted = 0;
+  std::uint64_t segments_delivered = 0;
+  std::uint64_t duplicate_deliveries = 0;
+  std::uint64_t requests_sent = 0;
+  std::uint64_t segments_booked = 0;
+  std::uint64_t segments_refused = 0;
+  std::uint64_t candidates_seen = 0;
+  std::uint64_t candidates_unassigned = 0;
+  std::uint64_t prefetch_launched = 0;
+  std::uint64_t prefetch_succeeded = 0;
+  std::uint64_t prefetch_no_replica = 0;
+  std::uint64_t prefetch_suppressed = 0;  ///< case 3: N_miss > l
+  std::uint64_t segments_pushed = 0;      ///< GridMedia-style push relays
+  std::uint64_t dht_route_messages = 0;
+  std::uint64_t dht_route_failures = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t graceful_leaves = 0;
+  std::uint64_t abrupt_leaves = 0;
+  std::uint64_t neighbor_replacements = 0;
+  std::uint64_t transfer_timeouts = 0;
+};
+
+class Session {
+ public:
+  Session(const SystemConfig& config, const trace::TraceSnapshot& snapshot);
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  ~Session();
+
+  /// Runs the simulation until `duration` seconds of virtual time.
+  void run(SimTime duration);
+
+  // --- results ---------------------------------------------------------
+  [[nodiscard]] const metrics::ContinuityTracker& continuity() const noexcept {
+    return continuity_;
+  }
+  [[nodiscard]] const metrics::SeriesCollector& collector() const noexcept {
+    return collector_;
+  }
+  [[nodiscard]] const net::TrafficAccount& traffic() const noexcept {
+    return network_.traffic();
+  }
+  [[nodiscard]] const SessionStats& stats() const noexcept { return stats_; }
+
+  // --- introspection -----------------------------------------------------
+  [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const dht::IdSpace& space() const noexcept { return space_; }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t alive_count() const;
+  [[nodiscard]] Node& node(std::size_t index) { return *nodes_.at(index); }
+  [[nodiscard]] const Node& node(std::size_t index) const { return *nodes_.at(index); }
+  [[nodiscard]] SegmentId emitted() const noexcept { return emitted_; }
+  [[nodiscard]] std::optional<std::size_t> index_of(NodeId id) const;
+  [[nodiscard]] const dht::RingDirectory& directory() const noexcept { return directory_; }
+
+  /// Source node (session index 0).
+  [[nodiscard]] const Node& source() const { return *nodes_.front(); }
+
+ private:
+  struct PrefetchOp {
+    std::size_t origin = 0;
+    SegmentId segment = kInvalidSegment;
+    unsigned pending_replies = 0;
+    double best_rate = -1.0;
+    std::optional<std::size_t> best_owner;
+  };
+
+  // --- construction -----------------------------------------------------
+  void build_nodes(const trace::TraceSnapshot& snapshot);
+  void assign_initial_neighbors(const trace::TraceSnapshot& snapshot);
+  void populate_initial_dht();
+  void start_processes();
+  [[nodiscard]] double sample_rate(double lo, double hi, bool skewed);
+  [[nodiscard]] double sample_ping();
+
+  // --- per-round behaviour ------------------------------------------------
+  void on_source_emit();
+  void on_node_round(std::size_t index);
+  void repair_neighbors(Node& node);
+  void do_playback(Node& node);
+  void maybe_start_playback(Node& node);
+  void exchange_buffer_maps(Node& node);
+  void run_scheduling(Node& node, double budget_fraction = 1.0);
+  void run_prefetch(Node& node);
+  void refresh_dht_peers(Node& node);
+  /// GridMedia-style relay: push a freshly received segment onward.
+  void push_relay(Node& node, SegmentId id);
+
+  // --- transfers -----------------------------------------------------------
+  void handle_segment_request(std::size_t supplier, std::size_t requester,
+                              std::vector<SegmentId> ids);
+  void start_fluid_transfer(std::size_t supplier, std::size_t requester, SegmentId id,
+                            net::MessageType type, TransferKind kind);
+  void deliver_segment(std::size_t receiver, SegmentId id, TransferKind kind,
+                       NodeId supplier, double transfer_duration);
+
+  // --- DHT / prefetch -------------------------------------------------------
+  void launch_prefetch(std::size_t origin, SegmentId segment);
+  void route_hop(std::size_t current, NodeId target, std::size_t origin,
+                 const std::shared_ptr<PrefetchOp>& op, unsigned hops);
+  void finish_locate(std::size_t terminal, const std::shared_ptr<PrefetchOp>& op);
+  void on_prefetch_reply(const std::shared_ptr<PrefetchOp>& op, std::size_t owner,
+                         bool has_segment, double rate);
+  void handle_prefetch_request(std::size_t owner, std::size_t origin, SegmentId segment);
+
+  // --- churn ------------------------------------------------------------
+  void on_churn_tick();
+  void kill_node(std::size_t index, bool graceful);
+  void do_join();
+
+  // --- metrics -----------------------------------------------------------
+  void on_sample_tick();
+
+  // --- helpers -----------------------------------------------------------
+  [[nodiscard]] bool alive_index(std::size_t index) const;
+  [[nodiscard]] std::optional<std::size_t> alive_node_by_id(NodeId id) const;
+  [[nodiscard]] bool in_time(const Node& node, SegmentId id, SimTime now) const;
+  void store_backup_if_responsible(Node& node, SegmentId id);
+
+  SystemConfig config_;
+  dht::IdSpace space_;
+  sim::Simulator sim_;
+  net::Network network_;
+  dht::RingDirectory directory_;
+  overlay::RendezvousServer rp_;
+  overlay::ChurnPlanner churn_;
+  util::Rng rng_;
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<sim::PeriodicProcess>> round_processes_;
+  std::unique_ptr<sim::PeriodicProcess> emit_process_;
+  std::unique_ptr<sim::PeriodicProcess> sample_process_;
+  std::unique_ptr<sim::PeriodicProcess> churn_process_;
+  std::unordered_map<NodeId, std::size_t> index_of_;
+
+  SegmentId emitted_ = 0;
+  SessionStats stats_;
+  metrics::ContinuityTracker continuity_;
+  metrics::SeriesCollector collector_;
+  net::TrafficAccount last_traffic_snapshot_;
+};
+
+/// Computes the ID-space size a trace needs: at least the configured
+/// size, doubled until initial occupancy stays below ~85%.
+[[nodiscard]] std::uint64_t fit_id_space(std::uint64_t configured, std::size_t nodes);
+
+}  // namespace continu::core

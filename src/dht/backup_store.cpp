@@ -1,0 +1,51 @@
+#include "dht/backup_store.hpp"
+
+#include <stdexcept>
+
+namespace continu::dht {
+
+BackupStore::BackupStore(const IdSpace& space, NodeId owner, unsigned replicas)
+    : space_(&space), owner_(owner), replicas_(replicas) {
+  if (replicas == 0) {
+    throw std::invalid_argument("BackupStore: need at least one replica");
+  }
+}
+
+bool BackupStore::responsible_for(SegmentId id, NodeId arc_end) const noexcept {
+  for (unsigned i = 1; i <= replicas_; ++i) {
+    const NodeId target = space_->backup_target(id, i);
+    if (util::in_clockwise_arc(target, owner_, arc_end, space_->size())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool BackupStore::offer(SegmentId id, NodeId arc_end) {
+  if (!responsible_for(id, arc_end)) return false;
+  segments_.insert(id);
+  return true;
+}
+
+void BackupStore::store(SegmentId id) { segments_.insert(id); }
+
+bool BackupStore::has(SegmentId id) const noexcept { return segments_.contains(id); }
+
+std::size_t BackupStore::expire_before(SegmentId horizon) {
+  auto it = segments_.lower_bound(horizon);
+  const auto dropped = static_cast<std::size_t>(std::distance(segments_.begin(), it));
+  segments_.erase(segments_.begin(), it);
+  return dropped;
+}
+
+std::vector<SegmentId> BackupStore::take_all() {
+  std::vector<SegmentId> out(segments_.begin(), segments_.end());
+  segments_.clear();
+  return out;
+}
+
+std::vector<SegmentId> BackupStore::contents() const {
+  return {segments_.begin(), segments_.end()};
+}
+
+}  // namespace continu::dht

@@ -1,0 +1,62 @@
+#pragma once
+// VoD Data Backup (paper Section 4.3, eq. 5 and Figure 1).
+//
+// Node n, whose closest clockwise DHT peer is n1, must keep every
+// received segment whose hash(id * i) mod N falls in [n, n1) for some
+// replica index i in 1..k. With k replicas per segment scattered by the
+// multiplicative hash, each segment is expected on k distinct nodes.
+// Old segments are garbage-collected once they fall behind the stream's
+// trailing edge (they can no longer help anyone meet a deadline).
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "dht/id_space.hpp"
+#include "util/ring_math.hpp"
+#include "util/types.hpp"
+
+namespace continu::dht {
+
+class BackupStore {
+ public:
+  /// `replicas` is the paper's k (default 4).
+  BackupStore(const IdSpace& space, NodeId owner, unsigned replicas);
+
+  [[nodiscard]] NodeId owner() const noexcept { return owner_; }
+  [[nodiscard]] unsigned replicas() const noexcept { return replicas_; }
+
+  /// True iff this node is responsible for segment `id` given its
+  /// current responsibility arc [owner, arc_end) — i.e. some replica
+  /// target lands in the arc. arc_end == owner means "whole ring"
+  /// (paper: node is its own closest peer; degenerate 1-node overlay).
+  [[nodiscard]] bool responsible_for(SegmentId id, NodeId arc_end) const noexcept;
+
+  /// Offers a received segment: stores it iff responsible. Returns
+  /// whether it was stored.
+  bool offer(SegmentId id, NodeId arc_end);
+
+  /// Force-stores a segment regardless of responsibility (handover from
+  /// a leaving predecessor).
+  void store(SegmentId id);
+
+  [[nodiscard]] bool has(SegmentId id) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return segments_.size(); }
+
+  /// Drops every segment with id < `horizon` (stale for playback).
+  /// Returns how many were dropped.
+  std::size_t expire_before(SegmentId horizon);
+
+  /// Extracts the full contents (graceful-leave handover).
+  [[nodiscard]] std::vector<SegmentId> take_all();
+
+  [[nodiscard]] std::vector<SegmentId> contents() const;
+
+ private:
+  const IdSpace* space_;
+  NodeId owner_;
+  unsigned replicas_;
+  std::set<SegmentId> segments_;
+};
+
+}  // namespace continu::dht

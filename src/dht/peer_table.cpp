@@ -1,0 +1,106 @@
+#include "dht/peer_table.hpp"
+
+#include <stdexcept>
+
+namespace continu::dht {
+
+PeerTable::PeerTable(const IdSpace& space, NodeId owner)
+    : space_(&space), owner_(owner), slots_(space.levels()) {
+  if (static_cast<std::uint64_t>(owner) >= space.size()) {
+    throw std::invalid_argument("PeerTable: owner outside ID space");
+  }
+}
+
+unsigned PeerTable::levels() const noexcept {
+  return static_cast<unsigned>(slots_.size());
+}
+
+std::optional<DhtPeer> PeerTable::peer_at(unsigned level) const {
+  if (level == 0 || level > slots_.size()) return std::nullopt;
+  return slots_[level - 1];
+}
+
+std::vector<DhtPeer> PeerTable::peers() const {
+  std::vector<DhtPeer> out;
+  for (const auto& slot : slots_) {
+    if (slot.has_value()) out.push_back(*slot);
+  }
+  return out;
+}
+
+bool PeerTable::offer(NodeId candidate, double latency_ms, SimTime now) {
+  if (candidate == owner_) return false;
+  const unsigned level = space_->level_of(owner_, candidate);
+  if (level == 0 || level > slots_.size()) return false;
+  auto& slot = slots_[level - 1];
+  if (!slot.has_value()) {
+    slot = DhtPeer{candidate, latency_ms, now};
+    return true;
+  }
+  if (slot->id == candidate) {
+    slot->latency_ms = latency_ms;
+    slot->refreshed_at = now;
+    return false;
+  }
+  // Replacement policy: strictly fresher information wins; at equal
+  // freshness prefer the lower-latency peer. This keeps the table
+  // converging toward live, nearby peers purely from overhearing.
+  const bool fresher = now > slot->refreshed_at;
+  const bool closer = latency_ms < slot->latency_ms;
+  if (fresher || (now == slot->refreshed_at && closer)) {
+    slot = DhtPeer{candidate, latency_ms, now};
+    return true;
+  }
+  return false;
+}
+
+void PeerTable::evict(NodeId node) {
+  for (auto& slot : slots_) {
+    if (slot.has_value() && slot->id == node) {
+      slot.reset();
+    }
+  }
+}
+
+std::optional<NodeId> PeerTable::next_hop(NodeId target) const {
+  // Greedy rule from the paper: choose the populated peer clockwise
+  // closest to the target, provided it improves on the owner — i.e. its
+  // clockwise distance TO the target is strictly smaller than ours.
+  const std::uint64_t own_dist = space_->distance(owner_, target);
+  std::optional<NodeId> best;
+  std::uint64_t best_dist = own_dist;
+  for (const auto& slot : slots_) {
+    if (!slot.has_value()) continue;
+    const std::uint64_t d = space_->distance(slot->id, target);
+    if (d < best_dist) {
+      best_dist = d;
+      best = slot->id;
+    }
+  }
+  return best;
+}
+
+std::optional<NodeId> PeerTable::closest_clockwise_peer() const {
+  std::optional<NodeId> best;
+  std::uint64_t best_dist = space_->size();
+  for (const auto& slot : slots_) {
+    if (!slot.has_value()) continue;
+    const std::uint64_t d = space_->distance(owner_, slot->id);
+    if (d != 0 && d < best_dist) {
+      best_dist = d;
+      best = slot->id;
+    }
+  }
+  return best;
+}
+
+bool PeerTable::invariants_hold() const {
+  for (unsigned level = 1; level <= slots_.size(); ++level) {
+    const auto& slot = slots_[level - 1];
+    if (!slot.has_value()) continue;
+    if (space_->level_of(owner_, slot->id) != level) return false;
+  }
+  return true;
+}
+
+}  // namespace continu::dht

@@ -1,0 +1,67 @@
+#pragma once
+// Level-structured DHT peer table (the "DHT Peers" third of the paper's
+// Peer Table, Figure 2).
+//
+// Node n keeps up to log N peers, one per level; the level-i slot may
+// hold ANY node in [n + 2^(i-1), n + 2^i) — this freedom is what makes
+// the DHT "loosely organized". Slots are refreshed opportunistically
+// from overheard nodes; an empty slot simply means no suitable node has
+// been overheard yet (possible when the ring is sparse).
+
+#include <optional>
+#include <vector>
+
+#include "dht/id_space.hpp"
+#include "util/types.hpp"
+
+namespace continu::dht {
+
+struct DhtPeer {
+  NodeId id = kInvalidNode;
+  double latency_ms = 0.0;
+  /// Simulated time the entry was last confirmed; stale entries lose
+  /// replacement fights.
+  SimTime refreshed_at = 0.0;
+};
+
+class PeerTable {
+ public:
+  PeerTable(const IdSpace& space, NodeId owner);
+
+  [[nodiscard]] NodeId owner() const noexcept { return owner_; }
+  [[nodiscard]] unsigned levels() const noexcept;
+
+  /// The peer at `level` (1-based), if any.
+  [[nodiscard]] std::optional<DhtPeer> peer_at(unsigned level) const;
+
+  /// All populated peers, ascending by level.
+  [[nodiscard]] std::vector<DhtPeer> peers() const;
+
+  /// Offers a candidate (typically an overheard node). It is installed
+  /// if its level slot is empty, or refreshes/replaces the incumbent
+  /// (newer information wins; on equal freshness lower latency wins).
+  /// Returns true if the table changed.
+  bool offer(NodeId candidate, double latency_ms, SimTime now);
+
+  /// Drops `node` from whatever slot holds it (failure handling).
+  void evict(NodeId node);
+
+  /// Clockwise-closest populated peer to `target` that is strictly
+  /// closer (clockwise) than the owner itself — the greedy next hop.
+  /// Empty when no peer improves on the owner, i.e. routing terminates.
+  [[nodiscard]] std::optional<NodeId> next_hop(NodeId target) const;
+
+  /// Closest clockwise peer (the level-1-upwards nearest populated
+  /// slot); defines the owner's backup responsibility arc [owner, n1).
+  [[nodiscard]] std::optional<NodeId> closest_clockwise_peer() const;
+
+  /// Invariant check: every populated slot's peer lies in its level arc.
+  [[nodiscard]] bool invariants_hold() const;
+
+ private:
+  const IdSpace* space_;
+  NodeId owner_;
+  std::vector<std::optional<DhtPeer>> slots_;  // index = level - 1
+};
+
+}  // namespace continu::dht

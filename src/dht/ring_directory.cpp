@@ -1,0 +1,59 @@
+#include "dht/ring_directory.hpp"
+
+#include <stdexcept>
+
+namespace continu::dht {
+
+RingDirectory::RingDirectory(const IdSpace& space) : space_(&space) {}
+
+void RingDirectory::insert(NodeId id) {
+  if (static_cast<std::uint64_t>(id) >= space_->size()) {
+    throw std::invalid_argument("RingDirectory: id outside ID space");
+  }
+  if (!members_.insert(id).second) {
+    throw std::invalid_argument("RingDirectory: id already occupied");
+  }
+}
+
+void RingDirectory::erase(NodeId id) { members_.erase(id); }
+
+bool RingDirectory::contains(NodeId id) const { return members_.contains(id); }
+
+std::optional<NodeId> RingDirectory::owner_of(NodeId target) const {
+  if (members_.empty()) return std::nullopt;
+  // Counter-clockwise closest: the largest member <= target, wrapping
+  // to the overall largest member when none is <= target.
+  auto it = members_.upper_bound(target);
+  if (it == members_.begin()) {
+    return *members_.rbegin();
+  }
+  --it;
+  return *it;
+}
+
+std::optional<NodeId> RingDirectory::successor_of(NodeId id) const {
+  if (members_.empty()) return std::nullopt;
+  if (members_.size() == 1 && members_.contains(id)) return std::nullopt;
+  auto it = members_.upper_bound(id);
+  if (it == members_.end()) it = members_.begin();
+  if (*it == id) return std::nullopt;
+  return *it;
+}
+
+std::optional<NodeId> RingDirectory::predecessor_of(NodeId id) const {
+  if (members_.empty()) return std::nullopt;
+  if (members_.size() == 1 && members_.contains(id)) return std::nullopt;
+  auto it = members_.lower_bound(id);
+  if (it == members_.begin()) {
+    const NodeId last = *members_.rbegin();
+    return (last == id) ? std::nullopt : std::optional<NodeId>(last);
+  }
+  --it;
+  return *it;
+}
+
+std::vector<NodeId> RingDirectory::members() const {
+  return {members_.begin(), members_.end()};
+}
+
+}  // namespace continu::dht

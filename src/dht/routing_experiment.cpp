@@ -1,0 +1,130 @@
+#include "dht/routing_experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace continu::dht {
+
+namespace {
+constexpr std::size_t kNoIndex = std::numeric_limits<std::size_t>::max();
+}
+
+RoutingExperiment::RoutingExperiment(const IdSpace& space, std::size_t node_count,
+                                     util::Rng& rng, double fill_probability)
+    : space_(&space), directory_(space) {
+  if (node_count == 0 || node_count > space.size()) {
+    throw std::invalid_argument("RoutingExperiment: node_count out of range");
+  }
+  // Sample node_count distinct IDs uniformly from [0, N).
+  std::vector<std::size_t> picks = rng.sample_indices(space.size(), node_count);
+  ids_.reserve(node_count);
+  for (const auto p : picks) {
+    ids_.push_back(static_cast<NodeId>(p));
+  }
+  std::sort(ids_.begin(), ids_.end());
+  index_of_.assign(space.size(), kNoIndex);
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    directory_.insert(ids_[i]);
+    index_of_[ids_[i]] = i;
+  }
+
+  // Populate peer tables: per level, pick a uniformly random member of
+  // the level arc (if any). The sorted id array makes arc membership a
+  // pair of binary searches.
+  tables_.reserve(node_count);
+  auto members_in_arc = [&](NodeId lo, NodeId hi) {
+    // Collect member ids in clockwise arc [lo, hi); may wrap.
+    std::vector<NodeId> out;
+    auto push_range = [&](NodeId a, NodeId b) {
+      // [a, b) with a <= b in plain integer order.
+      auto first = std::lower_bound(ids_.begin(), ids_.end(), a);
+      auto last = std::lower_bound(ids_.begin(), ids_.end(), b);
+      out.insert(out.end(), first, last);
+    };
+    if (lo <= hi) {
+      push_range(lo, hi);
+    } else {
+      push_range(lo, static_cast<NodeId>(space_->size()));
+      push_range(0, hi);
+    }
+    return out;
+  };
+
+  for (const NodeId id : ids_) {
+    PeerTable table(*space_, id);
+    for (unsigned level = 1; level <= space_->levels(); ++level) {
+      if (fill_probability < 1.0 && !rng.next_bool(fill_probability)) continue;
+      const auto [lo, hi] = space_->level_arc(id, level);
+      auto candidates = members_in_arc(lo, hi);
+      // The owner cannot be its own peer (matters only for tiny rings).
+      std::erase(candidates, id);
+      if (candidates.empty()) continue;
+      const NodeId pick = candidates[rng.next_below(candidates.size())];
+      table.offer(pick, /*latency_ms=*/1.0, /*now=*/0.0);
+    }
+    tables_.push_back(std::move(table));
+  }
+}
+
+const PeerTable& RoutingExperiment::table_of(NodeId id) const {
+  const std::size_t idx = index_of_.at(id);
+  if (idx == kNoIndex) {
+    throw std::invalid_argument("RoutingExperiment: unknown node id");
+  }
+  return tables_[idx];
+}
+
+RouteResult RoutingExperiment::route(NodeId start, NodeId target) const {
+  RouteResult result;
+  const auto truth = directory_.owner_of(target);
+  if (!truth.has_value()) return result;
+
+  const auto hop_cap = static_cast<std::uint64_t>(std::ceil(space_->hop_upper_bound())) + 2;
+  NodeId current = start;
+  result.path.push_back(current);
+  while (result.hops <= hop_cap) {
+    if (current == *truth) {
+      result.success = true;
+      result.terminal = current;
+      return result;
+    }
+    const auto& table = tables_[index_of_[current]];
+    const auto next = table.next_hop(target);
+    if (!next.has_value()) {
+      // Greedy termination: no populated peer is closer. The walk ends
+      // here; it succeeded only if this IS the owner (checked above).
+      result.terminal = current;
+      return result;
+    }
+    current = *next;
+    result.path.push_back(current);
+    ++result.hops;
+  }
+  // Hop cap exceeded — counts as failure (cannot happen with correct
+  // greedy progress; kept as a safety net and asserted in tests).
+  result.terminal = current;
+  return result;
+}
+
+RoutingStats RoutingExperiment::run(std::size_t queries, util::Rng& rng) const {
+  RoutingStats stats;
+  if (ids_.empty() || queries == 0) return stats;
+  std::uint64_t total_hops = 0;
+  std::uint64_t successes = 0;
+  for (std::size_t q = 0; q < queries; ++q) {
+    const NodeId start = ids_[rng.next_below(ids_.size())];
+    const auto target = static_cast<NodeId>(rng.next_below(space_->size()));
+    const RouteResult r = route(start, target);
+    total_hops += r.hops;
+    stats.max_hops = std::max(stats.max_hops, r.hops);
+    if (r.success) ++successes;
+  }
+  stats.queries = queries;
+  stats.average_hops = static_cast<double>(total_hops) / static_cast<double>(queries);
+  stats.success_rate = static_cast<double>(successes) / static_cast<double>(queries);
+  return stats;
+}
+
+}  // namespace continu::dht

@@ -1,0 +1,56 @@
+#include "metrics/collector.hpp"
+
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace continu::metrics {
+
+void SeriesCollector::record(const std::string& series, SimTime time, double value) {
+  data_[series].push_back(Sample{time, value});
+}
+
+bool SeriesCollector::has(const std::string& series) const {
+  return data_.contains(series);
+}
+
+const std::vector<Sample>& SeriesCollector::series(const std::string& name) const {
+  const auto it = data_.find(name);
+  if (it == data_.end()) {
+    throw std::out_of_range("SeriesCollector: unknown series '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> SeriesCollector::names() const {
+  std::vector<std::string> out;
+  out.reserve(data_.size());
+  for (const auto& [name, _] : data_) out.push_back(name);
+  return out;
+}
+
+util::RunningStats SeriesCollector::summarize(const std::string& name) const {
+  util::RunningStats stats;
+  for (const auto& sample : series(name)) stats.add(sample.value);
+  return stats;
+}
+
+double SeriesCollector::mean_from(const std::string& name, SimTime from) const {
+  util::RunningStats stats;
+  for (const auto& sample : series(name)) {
+    if (sample.time >= from) stats.add(sample.value);
+  }
+  return stats.mean();
+}
+
+void SeriesCollector::write_csv(const std::string& path) const {
+  util::CsvWriter csv(path, {"series", "time", "value"});
+  for (const auto& [name, samples] : data_) {
+    for (const auto& sample : samples) {
+      csv.add_row({name, util::Table::num(sample.time, 3), util::Table::num(sample.value, 6)});
+    }
+  }
+}
+
+}  // namespace continu::metrics

@@ -1,0 +1,41 @@
+#pragma once
+// Named time-series collector: every bench records (time, value) series
+// (continuity track, per-round overheads, alpha trajectory, ...) through
+// one of these and dumps them as CSV for replotting.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace continu::metrics {
+
+struct Sample {
+  SimTime time = 0.0;
+  double value = 0.0;
+};
+
+class SeriesCollector {
+ public:
+  void record(const std::string& series, SimTime time, double value);
+
+  [[nodiscard]] bool has(const std::string& series) const;
+  [[nodiscard]] const std::vector<Sample>& series(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Summary statistics over one series' values.
+  [[nodiscard]] util::RunningStats summarize(const std::string& name) const;
+
+  /// Mean of values with time >= from.
+  [[nodiscard]] double mean_from(const std::string& name, SimTime from) const;
+
+  /// Writes all series as long-format CSV (series,time,value).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::map<std::string, std::vector<Sample>> data_;
+};
+
+}  // namespace continu::metrics

@@ -1,0 +1,28 @@
+#include "metrics/continuity.hpp"
+
+namespace continu::metrics {
+
+void ContinuityTracker::record_round(SimTime time, std::uint64_t continuous,
+                                     std::uint64_t counted) {
+  rounds_.push_back(RoundContinuity{time, continuous, counted});
+}
+
+double ContinuityTracker::stable_mean(SimTime from) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& r : rounds_) {
+    if (r.time < from) continue;
+    sum += r.ratio();
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+SimTime ContinuityTracker::stabilization_time(double threshold) const {
+  for (const auto& r : rounds_) {
+    if (r.ratio() >= threshold) return r.time;
+  }
+  return -1.0;
+}
+
+}  // namespace continu::metrics

@@ -1,0 +1,50 @@
+#pragma once
+// Playback-continuity accounting (paper Section 5.3, metric 1).
+//
+// Per round, the metric is the RATIO OF NODES that have collected
+// sufficient data segments to play that round — deliberately stricter
+// than the per-segment "continuity index", as the paper argues. A node
+// that has not yet started playback counts as non-continuous, which
+// produces the 0 -> stable ramp of Figures 5/6.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace continu::metrics {
+
+struct RoundContinuity {
+  SimTime time = 0.0;
+  std::uint64_t continuous_nodes = 0;
+  std::uint64_t counted_nodes = 0;  ///< alive non-source nodes this round
+
+  [[nodiscard]] double ratio() const noexcept {
+    return counted_nodes == 0
+               ? 0.0
+               : static_cast<double>(continuous_nodes) / static_cast<double>(counted_nodes);
+  }
+};
+
+class ContinuityTracker {
+ public:
+  void record_round(SimTime time, std::uint64_t continuous, std::uint64_t counted);
+
+  [[nodiscard]] const std::vector<RoundContinuity>& rounds() const noexcept {
+    return rounds_;
+  }
+
+  /// Mean ratio over rounds with time >= from (the "stable phase" mean).
+  [[nodiscard]] double stable_mean(SimTime from) const;
+
+  /// First round time at which the ratio reaches `threshold` and stays
+  /// within `band` of the stable mean thereafter; -1 when never.
+  [[nodiscard]] SimTime stabilization_time(double threshold) const;
+
+  [[nodiscard]] bool empty() const noexcept { return rounds_.empty(); }
+
+ private:
+  std::vector<RoundContinuity> rounds_;
+};
+
+}  // namespace continu::metrics

@@ -1,0 +1,70 @@
+#include "net/latency_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace continu::net {
+
+LatencyModel::LatencyModel(std::vector<double> ping_ms, double floor_ms)
+    : ping_ms_(std::move(ping_ms)), floor_ms_(floor_ms) {
+  if (ping_ms_.empty()) {
+    throw std::invalid_argument("LatencyModel: need at least one node");
+  }
+  if (floor_ms_ < 0.0) {
+    throw std::invalid_argument("LatencyModel: floor must be non-negative");
+  }
+}
+
+LatencyModel LatencyModel::from_trace(const trace::TraceSnapshot& snapshot, double floor_ms) {
+  std::vector<double> pings;
+  pings.reserve(snapshot.node_count());
+  for (const auto& node : snapshot.nodes()) {
+    pings.push_back(node.ping_ms);
+  }
+  return LatencyModel(std::move(pings), floor_ms);
+}
+
+double LatencyModel::latency_ms(std::size_t a, std::size_t b) const {
+  const double diff = std::abs(ping_ms_.at(a) - ping_ms_.at(b));
+  return std::max(diff, floor_ms_);
+}
+
+SimTime LatencyModel::latency_s(std::size_t a, std::size_t b) const {
+  return latency_ms(a, b) / 1000.0;
+}
+
+SimTime LatencyModel::rtt_s(std::size_t a, std::size_t b) const {
+  return 2.0 * latency_s(a, b);
+}
+
+double LatencyModel::average_latency_ms() const {
+  const std::size_t n = ping_ms_.size();
+  if (n < 2) return floor_ms_;
+  // Exact for small n; strided sampling beyond that keeps this O(n).
+  double total = 0.0;
+  std::size_t pairs = 0;
+  if (n <= 512) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        total += latency_ms(i, j);
+        ++pairs;
+      }
+    }
+  } else {
+    const std::size_t stride = n / 512 + 1;
+    for (std::size_t i = 0; i < n; i += stride) {
+      for (std::size_t j = i + 1; j < n; j += stride) {
+        total += latency_ms(i, j);
+        ++pairs;
+      }
+    }
+  }
+  return pairs == 0 ? floor_ms_ : total / static_cast<double>(pairs);
+}
+
+std::size_t LatencyModel::add_node(double ping_ms) {
+  ping_ms_.push_back(ping_ms);
+  return ping_ms_.size() - 1;
+}
+
+}  // namespace continu::net

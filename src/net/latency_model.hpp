@@ -1,0 +1,49 @@
+#pragma once
+// Pairwise latency model (paper Section 5.2): the physical latency
+// between two overlay nodes is the difference between their real-trace
+// ping times from a central node, clamped below by a small floor.
+
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/types.hpp"
+
+namespace continu::net {
+
+class LatencyModel {
+ public:
+  /// Builds from per-node ping times (milliseconds).
+  explicit LatencyModel(std::vector<double> ping_ms, double floor_ms = 5.0);
+
+  /// Builds directly from a trace snapshot.
+  [[nodiscard]] static LatencyModel from_trace(const trace::TraceSnapshot& snapshot,
+                                               double floor_ms = 5.0);
+
+  /// One-way latency in seconds between two nodes (by dense index).
+  [[nodiscard]] SimTime latency_s(std::size_t a, std::size_t b) const;
+
+  /// One-way latency in milliseconds.
+  [[nodiscard]] double latency_ms(std::size_t a, std::size_t b) const;
+
+  /// Round-trip time in seconds (2x one-way; the join probe estimates
+  /// latency as RTT/2, which by construction recovers latency_s).
+  [[nodiscard]] SimTime rtt_s(std::size_t a, std::size_t b) const;
+
+  /// Average one-way latency over all distinct pairs — the t_hop
+  /// estimate used to seed the urgent ratio alpha (eq. 7). Computed by
+  /// sampling for large n.
+  [[nodiscard]] double average_latency_ms() const;
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return ping_ms_.size(); }
+  [[nodiscard]] double floor_ms() const noexcept { return floor_ms_; }
+
+  /// Appends a node (joins during churn) with the given ping time;
+  /// returns its index.
+  std::size_t add_node(double ping_ms);
+
+ private:
+  std::vector<double> ping_ms_;
+  double floor_ms_;
+};
+
+}  // namespace continu::net

@@ -1,0 +1,76 @@
+#include "net/message.hpp"
+
+namespace continu::net {
+
+std::string_view message_type_name(MessageType type) noexcept {
+  switch (type) {
+    case MessageType::kBufferMap: return "buffer-map";
+    case MessageType::kSegmentRequest: return "segment-request";
+    case MessageType::kRequestNack: return "request-nack";
+    case MessageType::kSegmentData: return "segment-data";
+    case MessageType::kDhtRoute: return "dht-route";
+    case MessageType::kDhtReply: return "dht-reply";
+    case MessageType::kPrefetchRequest: return "prefetch-request";
+    case MessageType::kPrefetchData: return "prefetch-data";
+    case MessageType::kPing: return "ping";
+    case MessageType::kPong: return "pong";
+    case MessageType::kJoinNotify: return "join-notify";
+    case MessageType::kHandover: return "handover";
+  }
+  return "unknown";
+}
+
+std::string_view traffic_class_name(TrafficClass c) noexcept {
+  switch (c) {
+    case TrafficClass::kControl: return "control";
+    case TrafficClass::kRequest: return "request";
+    case TrafficClass::kData: return "data";
+    case TrafficClass::kPrefetch: return "prefetch";
+    case TrafficClass::kMaintenance: return "maintenance";
+  }
+  return "unknown";
+}
+
+TrafficClass traffic_class_of(MessageType type) noexcept {
+  switch (type) {
+    case MessageType::kBufferMap:
+      return TrafficClass::kControl;
+    case MessageType::kSegmentRequest:
+    case MessageType::kRequestNack:
+      return TrafficClass::kRequest;
+    case MessageType::kSegmentData:
+      return TrafficClass::kData;
+    case MessageType::kDhtRoute:
+    case MessageType::kDhtReply:
+    case MessageType::kPrefetchRequest:
+    case MessageType::kPrefetchData:
+      return TrafficClass::kPrefetch;
+    case MessageType::kPing:
+    case MessageType::kPong:
+    case MessageType::kJoinNotify:
+    case MessageType::kHandover:
+      return TrafficClass::kMaintenance;
+  }
+  return TrafficClass::kMaintenance;
+}
+
+Bits default_message_bits(MessageType type) noexcept {
+  switch (type) {
+    case MessageType::kBufferMap: return WireCosts::kBufferMapBits;
+    case MessageType::kSegmentRequest: return WireCosts::kSegmentRequestPerIdBits;
+    case MessageType::kRequestNack: return WireCosts::kSmallPacketBits;
+    case MessageType::kSegmentData: return WireCosts::kSegmentBits;
+    case MessageType::kDhtRoute: return WireCosts::kDhtRouteBits;
+    case MessageType::kDhtReply: return WireCosts::kDhtReplyBits;
+    case MessageType::kPrefetchRequest: return WireCosts::kPrefetchRequestBits;
+    case MessageType::kPrefetchData: return WireCosts::kSegmentBits;
+    case MessageType::kPing:
+    case MessageType::kPong:
+    case MessageType::kJoinNotify:
+    case MessageType::kHandover:
+      return WireCosts::kSmallPacketBits;
+  }
+  return 0;
+}
+
+}  // namespace continu::net

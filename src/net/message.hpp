@@ -1,0 +1,79 @@
+#pragma once
+// Message taxonomy and bit-exact wire costs.
+//
+// The paper accounts overhead in bits (Section 5.4.2 / 5.4.3):
+//   * buffer-map exchange: 600 availability bits + 20-bit head id = 620;
+//   * DHT routing message: 10 bytes = 80 bits;
+//   * data segment: 30 Kb of media per segment (p = 10 segments/s for a
+//     300 Kbps stream).
+// We keep those constants here so every module charges identical costs.
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace continu::net {
+
+/// Every distinct protocol message the two systems exchange.
+enum class MessageType : std::uint8_t {
+  kBufferMap,         ///< periodic availability bitmap (gossip control)
+  kSegmentRequest,    ///< pull request for scheduled segments
+  kRequestNack,       ///< supplier refusal (no bandwidth / segment gone)
+  kSegmentData,       ///< media payload from a connected neighbor
+  kDhtRoute,          ///< greedy routing hop (locate backup nodes)
+  kDhtReply,          ///< backup node's have/rate answer
+  kPrefetchRequest,   ///< direct pull from the chosen backup supplier
+  kPrefetchData,      ///< media payload delivered by pre-fetch (UDP)
+  kPing,              ///< join-time latency probe
+  kPong,              ///< probe answer
+  kJoinNotify,        ///< "I joined" notification to close nodes
+  kHandover,          ///< graceful-leave VoD backup transfer
+};
+
+[[nodiscard]] std::string_view message_type_name(MessageType type) noexcept;
+
+/// Traffic classes used by the overhead metrics. The paper's control
+/// overhead counts ONLY buffer-map exchange bits (Section 5.4.2), so
+/// pull requests get their own class and are reported separately.
+enum class TrafficClass : std::uint8_t {
+  kControl,        ///< buffer-map exchange (control overhead numerator)
+  kRequest,        ///< segment pull requests (reported separately)
+  kData,           ///< scheduled segment payloads (denominator)
+  kPrefetch,       ///< DHT routing + prefetch payloads (pre-fetch numerator)
+  kMaintenance,    ///< join/leave/ping bookkeeping (reported, tiny)
+};
+inline constexpr std::size_t kTrafficClassCount = 5;
+
+[[nodiscard]] std::string_view traffic_class_name(TrafficClass c) noexcept;
+
+/// Maps each message type to the traffic class it is charged to.
+[[nodiscard]] TrafficClass traffic_class_of(MessageType type) noexcept;
+
+/// Wire-size constants (bits), straight from the paper.
+struct WireCosts {
+  /// Availability window bits in one buffer map (= buffer capacity B).
+  static constexpr Bits kBufferMapWindowBits = 600;
+  /// Head segment id: the source emits < 2^20 segments per hour.
+  static constexpr Bits kBufferMapHeadBits = 20;
+  static constexpr Bits kBufferMapBits = kBufferMapWindowBits + kBufferMapHeadBits;
+  /// One DHT routing message: 10 bytes.
+  static constexpr Bits kDhtRouteBits = 80;
+  /// DHT reply / prefetch request ride in the same small packets.
+  static constexpr Bits kDhtReplyBits = 80;
+  static constexpr Bits kPrefetchRequestBits = 80;
+  /// One media segment: 30 Kb (the paper writes "30 Kbp" per segment,
+  /// 1024-based in its overhead arithmetic: 30 * 1024 bits).
+  static constexpr Bits kSegmentBits = 30 * 1024;
+  /// Per-segment-id cost inside a pull request.
+  static constexpr Bits kSegmentRequestPerIdBits = 20;
+  /// Ping/pong/join bookkeeping packets.
+  static constexpr Bits kSmallPacketBits = 80;
+};
+
+/// Default size in bits of a message of the given type (a request
+/// carrying q segment ids costs q * kSegmentRequestPerIdBits; callers
+/// pass the multiple explicitly).
+[[nodiscard]] Bits default_message_bits(MessageType type) noexcept;
+
+}  // namespace continu::net

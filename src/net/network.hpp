@@ -1,0 +1,53 @@
+#pragma once
+// Message delivery engine: charges traffic, applies pairwise latency,
+// and hands the payload callback to the simulator. Node-level protocol
+// logic lives above this layer (overlay/, core/); the network knows
+// nothing about segments or DHT semantics.
+
+#include <functional>
+
+#include "net/latency_model.hpp"
+#include "net/message.hpp"
+#include "net/traffic.hpp"
+#include "sim/simulator.hpp"
+#include "util/types.hpp"
+
+namespace continu::net {
+
+class Network {
+ public:
+  Network(sim::Simulator& sim, LatencyModel latency);
+
+  /// Sends a message of `type` and `bits` from `from` to `to`; runs
+  /// `on_delivery` after the one-way latency (+ extra_delay, e.g. the
+  /// payload transfer time computed by the sender's rate controller).
+  /// Dropped silently if a drop filter rejects the destination (dead
+  /// node) — exactly like a UDP packet into the void.
+  void send(std::size_t from, std::size_t to, MessageType type, Bits bits,
+            std::function<void()> on_delivery, SimTime extra_delay = 0.0);
+
+  /// Charges traffic for a message without scheduling delivery (used
+  /// for locally-absorbed costs like the last routing hop's reply).
+  void charge_only(MessageType type, Bits bits);
+
+  /// Installs the liveness filter; return false to drop deliveries.
+  void set_delivery_filter(std::function<bool(std::size_t to)> filter);
+
+  [[nodiscard]] const TrafficAccount& traffic() const noexcept { return traffic_; }
+  [[nodiscard]] TrafficAccount& traffic() noexcept { return traffic_; }
+  [[nodiscard]] const LatencyModel& latency() const noexcept { return latency_; }
+  [[nodiscard]] LatencyModel& latency() noexcept { return latency_; }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+  /// Count of messages dropped by the liveness filter.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  sim::Simulator& sim_;
+  LatencyModel latency_;
+  TrafficAccount traffic_;
+  std::function<bool(std::size_t)> filter_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace continu::net

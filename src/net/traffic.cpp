@@ -1,0 +1,48 @@
+#include "net/traffic.hpp"
+
+namespace continu::net {
+
+namespace {
+[[nodiscard]] constexpr std::size_t index_of(TrafficClass c) noexcept {
+  return static_cast<std::size_t>(c);
+}
+}  // namespace
+
+void TrafficAccount::charge(TrafficClass c, Bits bits, std::uint64_t messages) noexcept {
+  bits_[index_of(c)] += bits;
+  messages_[index_of(c)] += messages;
+}
+
+Bits TrafficAccount::bits(TrafficClass c) const noexcept { return bits_[index_of(c)]; }
+
+std::uint64_t TrafficAccount::messages(TrafficClass c) const noexcept {
+  return messages_[index_of(c)];
+}
+
+double TrafficAccount::control_overhead() const noexcept {
+  const Bits data = bits(TrafficClass::kData);
+  if (data == 0) return 0.0;
+  return static_cast<double>(bits(TrafficClass::kControl)) / static_cast<double>(data);
+}
+
+double TrafficAccount::prefetch_overhead() const noexcept {
+  const Bits data = bits(TrafficClass::kData);
+  if (data == 0) return 0.0;
+  return static_cast<double>(bits(TrafficClass::kPrefetch)) / static_cast<double>(data);
+}
+
+TrafficAccount TrafficAccount::since(const TrafficAccount& baseline) const noexcept {
+  TrafficAccount delta;
+  for (std::size_t i = 0; i < kTrafficClassCount; ++i) {
+    delta.bits_[i] = bits_[i] - baseline.bits_[i];
+    delta.messages_[i] = messages_[i] - baseline.messages_[i];
+  }
+  return delta;
+}
+
+void TrafficAccount::clear() noexcept {
+  bits_.fill(0);
+  messages_.fill(0);
+}
+
+}  // namespace continu::net

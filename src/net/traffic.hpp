@@ -1,0 +1,37 @@
+#pragma once
+// Global traffic accounting by class — feeds the control-overhead and
+// pre-fetch-overhead metrics (paper Section 5.3 definitions 2 and 3).
+
+#include <array>
+#include <cstdint>
+
+#include "net/message.hpp"
+#include "util/types.hpp"
+
+namespace continu::net {
+
+class TrafficAccount {
+ public:
+  void charge(TrafficClass c, Bits bits, std::uint64_t messages = 1) noexcept;
+
+  [[nodiscard]] Bits bits(TrafficClass c) const noexcept;
+  [[nodiscard]] std::uint64_t messages(TrafficClass c) const noexcept;
+
+  /// Control overhead: control bits / data bits (0 when no data yet).
+  [[nodiscard]] double control_overhead() const noexcept;
+
+  /// Pre-fetch overhead: (DHT routing + prefetch payload bits) / data bits.
+  [[nodiscard]] double prefetch_overhead() const noexcept;
+
+  /// Snapshot difference helper: *this - baseline (per class), used for
+  /// per-round overhead tracks.
+  [[nodiscard]] TrafficAccount since(const TrafficAccount& baseline) const noexcept;
+
+  void clear() noexcept;
+
+ private:
+  std::array<Bits, kTrafficClassCount> bits_{};
+  std::array<std::uint64_t, kTrafficClassCount> messages_{};
+};
+
+}  // namespace continu::net

@@ -1,0 +1,44 @@
+#include "overlay/churn.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace continu::overlay {
+
+ChurnPlanner::ChurnPlanner(ChurnConfig config, util::Rng rng)
+    : config_(config), rng_(rng) {
+  if (config.leave_fraction < 0.0 || config.leave_fraction > 1.0 ||
+      config.join_fraction < 0.0 || config.graceful_fraction < 0.0 ||
+      config.graceful_fraction > 1.0) {
+    throw std::invalid_argument("ChurnPlanner: fractions out of range");
+  }
+}
+
+std::size_t ChurnPlanner::stochastic_round(double x) {
+  const double floor_part = std::floor(x);
+  const double frac = x - floor_part;
+  auto result = static_cast<std::size_t>(floor_part);
+  if (rng_.next_bool(frac)) ++result;
+  return result;
+}
+
+ChurnBatch ChurnPlanner::plan(const std::vector<std::size_t>& alive_indices) {
+  ChurnBatch batch;
+  const auto n = alive_indices.size();
+  if (n == 0) return batch;
+
+  const std::size_t leavers =
+      std::min(n, stochastic_round(config_.leave_fraction * static_cast<double>(n)));
+  const auto picks = rng_.sample_indices(n, leavers);
+  for (const auto p : picks) {
+    if (rng_.next_bool(config_.graceful_fraction)) {
+      batch.graceful_leavers.push_back(alive_indices[p]);
+    } else {
+      batch.abrupt_leavers.push_back(alive_indices[p]);
+    }
+  }
+  batch.joins = stochastic_round(config_.join_fraction * static_cast<double>(n));
+  return batch;
+}
+
+}  // namespace continu::overlay

@@ -1,0 +1,47 @@
+#pragma once
+// Churn plan for the "dynamic environment" evaluations: every
+// scheduling period, 5% of alive (non-source) nodes leave and an equal
+// number of fresh nodes join (paper Section 5.2). The plan samples WHO
+// churns; the session layer executes the departures/joins because they
+// touch node state.
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace continu::overlay {
+
+struct ChurnConfig {
+  double leave_fraction = 0.05;   ///< of alive non-source nodes, per period
+  double join_fraction = 0.05;    ///< new nodes per period, same base
+  /// Probability a departure is graceful (hands over its VoD backup);
+  /// the rest fail abruptly. The paper discusses both paths.
+  double graceful_fraction = 0.5;
+};
+
+struct ChurnBatch {
+  std::vector<std::size_t> graceful_leavers;  ///< session indices
+  std::vector<std::size_t> abrupt_leavers;    ///< session indices
+  std::size_t joins = 0;
+};
+
+class ChurnPlanner {
+ public:
+  ChurnPlanner(ChurnConfig config, util::Rng rng);
+
+  /// Samples one period's churn from the alive population (session
+  /// indices, source excluded by the caller). Fractions round
+  /// stochastically so small populations still churn in expectation.
+  [[nodiscard]] ChurnBatch plan(const std::vector<std::size_t>& alive_indices);
+
+  [[nodiscard]] const ChurnConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] std::size_t stochastic_round(double x);
+
+  ChurnConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace continu::overlay

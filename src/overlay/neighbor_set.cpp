@@ -1,0 +1,72 @@
+#include "overlay/neighbor_set.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace continu::overlay {
+
+NeighborSet::NeighborSet(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("NeighborSet: capacity must be positive");
+  }
+}
+
+bool NeighborSet::contains(NodeId id) const noexcept {
+  return std::any_of(neighbors_.begin(), neighbors_.end(),
+                     [id](const Neighbor& n) { return n.id == id; });
+}
+
+std::vector<NodeId> NeighborSet::ids() const {
+  std::vector<NodeId> out;
+  out.reserve(neighbors_.size());
+  for (const auto& n : neighbors_) out.push_back(n.id);
+  return out;
+}
+
+bool NeighborSet::add(NodeId id, double latency_ms, SimTime now) {
+  if (full() || contains(id)) return false;
+  neighbors_.push_back(Neighbor{id, latency_ms, 0.0, 0.0, now});
+  return true;
+}
+
+bool NeighborSet::remove(NodeId id) {
+  const auto before = neighbors_.size();
+  std::erase_if(neighbors_, [id](const Neighbor& n) { return n.id == id; });
+  return neighbors_.size() != before;
+}
+
+void NeighborSet::record_supply_event(NodeId id) {
+  for (auto& n : neighbors_) {
+    if (n.id == id) {
+      n.pending_supply += 1.0;
+      return;
+    }
+  }
+}
+
+void NeighborSet::fold_supply(double alpha) {
+  for (auto& n : neighbors_) {
+    n.supply_rate = alpha * n.pending_supply + (1.0 - alpha) * n.supply_rate;
+    n.pending_supply = 0.0;
+  }
+}
+
+std::optional<Neighbor> NeighborSet::weakest(SimTime now, SimTime min_age) const {
+  std::optional<Neighbor> worst;
+  for (const auto& n : neighbors_) {
+    if (now - n.connected_at < min_age) continue;
+    if (!worst.has_value() || n.supply_rate < worst->supply_rate) {
+      worst = n;
+    }
+  }
+  return worst;
+}
+
+std::optional<Neighbor> NeighborSet::get(NodeId id) const {
+  for (const auto& n : neighbors_) {
+    if (n.id == id) return n;
+  }
+  return std::nullopt;
+}
+
+}  // namespace continu::overlay

@@ -1,0 +1,65 @@
+#pragma once
+// Connected Neighbors — the first section of the paper's Peer Table.
+//
+// M TCP-connected neighbors with per-neighbor latency and a recent
+// supply-rate estimate (fed by the Rate Controller). A neighbor that
+// fails or supplies too little is replaced by the lowest-latency
+// overheard node.
+
+#include <optional>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace continu::overlay {
+
+struct Neighbor {
+  NodeId id = kInvalidNode;
+  double latency_ms = 0.0;
+  /// Exponentially-smoothed supply rate, segments per scheduling period.
+  double supply_rate = 0.0;
+  /// Segments supplied since the last fold_supply().
+  double pending_supply = 0.0;
+  SimTime connected_at = 0.0;
+};
+
+class NeighborSet {
+ public:
+  explicit NeighborSet(std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return neighbors_.size(); }
+  [[nodiscard]] bool full() const noexcept { return neighbors_.size() >= capacity_; }
+  [[nodiscard]] const std::vector<Neighbor>& all() const noexcept { return neighbors_; }
+  [[nodiscard]] bool contains(NodeId id) const noexcept;
+  [[nodiscard]] std::vector<NodeId> ids() const;
+
+  /// Adds a neighbor if there is room and it is not present.
+  /// Returns false when full or duplicate.
+  bool add(NodeId id, double latency_ms, SimTime now);
+
+  /// Removes a neighbor (failure or replacement). Returns whether it
+  /// was present.
+  bool remove(NodeId id);
+
+  /// Counts one supplied segment from `id` (called per delivery).
+  void record_supply_event(NodeId id);
+
+  /// Period boundary: folds the per-period counters into each
+  /// neighbor's smoothed supply rate (segments per period):
+  /// new = alpha*count + (1-alpha)*old.
+  void fold_supply(double alpha = 0.3);
+
+  /// The neighbor with the lowest smoothed supply rate, eligible for
+  /// replacement once it has been connected for at least `min_age`
+  /// (gives fresh connections a grace period).
+  [[nodiscard]] std::optional<Neighbor> weakest(SimTime now, SimTime min_age) const;
+
+  [[nodiscard]] std::optional<Neighbor> get(NodeId id) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<Neighbor> neighbors_;
+};
+
+}  // namespace continu::overlay

@@ -1,0 +1,49 @@
+#include "overlay/overheard_list.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace continu::overlay {
+
+OverheardList::OverheardList(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("OverheardList: capacity must be positive");
+  }
+}
+
+void OverheardList::hear(NodeId id, double latency_ms, SimTime now) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [id](const OverheardNode& e) { return e.id == id; });
+  if (it != entries_.end()) {
+    entries_.erase(it);
+  }
+  entries_.push_front(OverheardNode{id, latency_ms, now});
+  if (entries_.size() > capacity_) {
+    entries_.pop_back();
+  }
+}
+
+void OverheardList::forget(NodeId id) {
+  std::erase_if(entries_, [id](const OverheardNode& e) { return e.id == id; });
+}
+
+std::optional<OverheardNode> OverheardList::best_candidate(
+    const std::vector<NodeId>& excluded) const {
+  std::optional<OverheardNode> best;
+  for (const auto& entry : entries_) {
+    if (std::find(excluded.begin(), excluded.end(), entry.id) != excluded.end()) {
+      continue;
+    }
+    if (!best.has_value() || entry.latency_ms < best->latency_ms) {
+      best = entry;
+    }
+  }
+  return best;
+}
+
+bool OverheardList::contains(NodeId id) const noexcept {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [id](const OverheardNode& e) { return e.id == id; });
+}
+
+}  // namespace continu::overlay

@@ -1,0 +1,48 @@
+#pragma once
+// Overheard Nodes — the third section of the paper's Peer Table
+// (Figure 2). A bounded most-recently-overheard list (H = 20 in the
+// paper) fed by routing messages passing through the node. Both the
+// connected-neighbor repair policy and DHT-peer refresh draw candidates
+// from here, which is why overlay maintenance needs no extra messages.
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace continu::overlay {
+
+struct OverheardNode {
+  NodeId id = kInvalidNode;
+  double latency_ms = 0.0;
+  SimTime heard_at = 0.0;
+};
+
+class OverheardList {
+ public:
+  explicit OverheardList(std::size_t capacity = 20);
+
+  /// Records an overheard node; refreshes (moves to front) if already
+  /// present, evicts the oldest entry when full.
+  void hear(NodeId id, double latency_ms, SimTime now);
+
+  /// Drops a node known to be dead.
+  void forget(NodeId id);
+
+  /// Lowest-latency entry, optionally excluding some ids (current
+  /// neighbors should not be re-picked as replacements).
+  [[nodiscard]] std::optional<OverheardNode> best_candidate(
+      const std::vector<NodeId>& excluded) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const std::deque<OverheardNode>& entries() const noexcept { return entries_; }
+  [[nodiscard]] bool contains(NodeId id) const noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::deque<OverheardNode> entries_;  // front = most recent
+};
+
+}  // namespace continu::overlay

@@ -1,0 +1,32 @@
+#pragma once
+// Event record for the discrete-event engine.
+
+#include <cstdint>
+#include <functional>
+
+#include "util/types.hpp"
+
+namespace continu::sim {
+
+/// Unique, monotonically increasing handle for scheduled events; used
+/// both for cancellation and for deterministic tie-breaking.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEvent = 0;
+
+struct Event {
+  SimTime time = 0.0;
+  EventId id = kInvalidEvent;
+  std::function<void()> action;
+};
+
+/// Min-heap ordering: earlier time first; FIFO among equal times so that
+/// runs are bit-for-bit reproducible.
+struct EventLater {
+  [[nodiscard]] bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.id > b.id;
+  }
+};
+
+}  // namespace continu::sim

@@ -1,0 +1,48 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace continu::sim {
+
+void EventQueue::push(Event event) {
+  pending_.insert(event.id);
+  heap_.push_back(std::move(event));
+  std::push_heap(heap_.begin(), heap_.end(), EventLater{});
+}
+
+void EventQueue::drop_cancelled_top() const {
+  while (!heap_.empty() && cancelled_.contains(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
+    cancelled_.erase(heap_.back().id);
+    heap_.pop_back();
+  }
+}
+
+Event EventQueue::pop() {
+  drop_cancelled_top();
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue::pop on empty queue");
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
+  Event e = std::move(heap_.back());
+  heap_.pop_back();
+  pending_.erase(e.id);
+  return e;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (pending_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  return true;
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled_top();
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue::next_time on empty queue");
+  }
+  return heap_.front().time;
+}
+
+}  // namespace continu::sim

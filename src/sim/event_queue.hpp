@@ -1,0 +1,49 @@
+#pragma once
+// Binary-heap priority queue with lazy cancellation.
+//
+// Cancellation matters: a node that leaves the overlay abandons its
+// pending periodic events. We track the set of pending ids so cancelling
+// an already-fired (or never-scheduled) id is a strict no-op; cancelled
+// entries are skipped lazily on pop, keeping cancel O(1) and pop
+// amortized O(log n).
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event.hpp"
+
+namespace continu::sim {
+
+class EventQueue {
+ public:
+  /// Pushes an event; the id must be unique (the Simulator allocates them).
+  void push(Event event);
+
+  /// Pops the earliest non-cancelled event. Requires !empty().
+  [[nodiscard]] Event pop();
+
+  /// Cancels a pending event. Returns true iff the id was pending;
+  /// already-fired or unknown ids are ignored.
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
+
+  /// Time of the earliest live event. Requires !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+ private:
+  void drop_cancelled_top() const;
+
+  // Mutable so next_time() can purge cancelled heads without changing
+  // observable state.
+  mutable std::vector<Event> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> pending_;
+};
+
+}  // namespace continu::sim

@@ -1,0 +1,96 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace continu::sim {
+
+EventId Simulator::schedule_in(SimTime delay, std::function<void()> action) {
+  if (delay < 0.0) delay = 0.0;
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+EventId Simulator::schedule_at(SimTime when, std::function<void()> action) {
+  if (!action) {
+    throw std::invalid_argument("Simulator: empty action");
+  }
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(action)});
+  return id;
+}
+
+bool Simulator::cancel(EventId id) { return queue_.cancel(id); }
+
+std::size_t Simulator::run_until(SimTime horizon) {
+  std::size_t ran = 0;
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    Event e = queue_.pop();
+    now_ = e.time;
+    ++executed_;
+    ++ran;
+    e.action();
+  }
+  if (now_ < horizon) now_ = horizon;
+  return ran;
+}
+
+std::size_t Simulator::run_all() {
+  std::size_t ran = 0;
+  while (!queue_.empty()) {
+    Event e = queue_.pop();
+    now_ = e.time;
+    ++executed_;
+    ++ran;
+    e.action();
+  }
+  return ran;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event e = queue_.pop();
+  now_ = e.time;
+  ++executed_;
+  e.action();
+  return true;
+}
+
+PeriodicProcess::PeriodicProcess(Simulator& sim, SimTime period,
+                                 std::function<void()> tick)
+    : sim_(sim), period_(period), tick_(std::move(tick)) {
+  if (period_ <= 0.0) {
+    throw std::invalid_argument("PeriodicProcess: period must be positive");
+  }
+  if (!tick_) {
+    throw std::invalid_argument("PeriodicProcess: empty tick");
+  }
+}
+
+PeriodicProcess::~PeriodicProcess() { stop(); }
+
+void PeriodicProcess::start(SimTime initial_delay) {
+  if (running_) return;
+  running_ = true;
+  arm(initial_delay);
+}
+
+void PeriodicProcess::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_event_ != kInvalidEvent) {
+    sim_.cancel(pending_event_);
+    pending_event_ = kInvalidEvent;
+  }
+}
+
+void PeriodicProcess::arm(SimTime delay) {
+  pending_event_ = sim_.schedule_in(delay, [this] {
+    pending_event_ = kInvalidEvent;
+    if (!running_) return;
+    tick_();
+    if (running_) arm(period_);
+  });
+}
+
+}  // namespace continu::sim

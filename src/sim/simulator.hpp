@@ -1,0 +1,87 @@
+#pragma once
+// Deterministic discrete-event simulator: virtual clock + event queue.
+//
+// Everything in the reproduction — buffer-map exchanges, segment
+// transfers, DHT routing hops, churn, playback ticks — executes as
+// events on one Simulator instance, so a (seed, config) pair fully
+// determines a run.
+
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "util/types.hpp"
+
+namespace continu::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time in seconds.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `action` to run at now() + delay (delay clamped to >= 0).
+  /// Returns a handle usable with cancel().
+  EventId schedule_in(SimTime delay, std::function<void()> action);
+
+  /// Schedules `action` at an absolute time (clamped to >= now()).
+  EventId schedule_at(SimTime when, std::function<void()> action);
+
+  /// Cancels a pending event; returns true iff it was still pending.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue drains or the clock passes `horizon`.
+  /// Events at exactly `horizon` still run. Returns events executed.
+  std::size_t run_until(SimTime horizon);
+
+  /// Runs until the queue is empty. Returns events executed.
+  std::size_t run_all();
+
+  /// Executes exactly one event if available; returns whether one ran.
+  bool step();
+
+  /// Live events still pending.
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Total events executed since construction.
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+/// Repeating event helper: reschedules itself every `period` until
+/// stop() or the owning simulator drains. Used for scheduling rounds,
+/// churn ticks and metric sampling.
+class PeriodicProcess {
+ public:
+  PeriodicProcess(Simulator& sim, SimTime period, std::function<void()> tick);
+  ~PeriodicProcess();
+  PeriodicProcess(const PeriodicProcess&) = delete;
+  PeriodicProcess& operator=(const PeriodicProcess&) = delete;
+
+  /// Starts with the first tick after `initial_delay`.
+  void start(SimTime initial_delay = 0.0);
+
+  /// Cancels the pending tick; further ticks stop.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] SimTime period() const noexcept { return period_; }
+
+ private:
+  void arm(SimTime delay);
+
+  Simulator& sim_;
+  SimTime period_;
+  std::function<void()> tick_;
+  EventId pending_event_ = kInvalidEvent;
+  bool running_ = false;
+};
+
+}  // namespace continu::sim

@@ -1,0 +1,48 @@
+#pragma once
+// Synthetic clip2-style trace generator.
+//
+// Empirical targets (matching what the paper reports about its traces
+// and what 2000-2001 Gnutella crawls looked like):
+//   * snapshot sizes from 100 to 10000 hosts;
+//   * average degree between ~0.8 and 3.5 with a heavy-tailed
+//     distribution (most hosts have 0-2 crawled links, a few hubs);
+//   * ping times from a central crawler spanning dial-up and broadband
+//     populations, calibrated so the paper's |ping_a - ping_b| latency
+//     estimator averages ~50-70 ms per overlay hop (the t_hop the paper
+//     reports from its traces);
+//   * advertised speeds in {28.8, 33.6, 56, 128, 384, 768, 1544} kbps.
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace continu::trace {
+
+struct GeneratorConfig {
+  std::size_t node_count = 1000;
+  /// Target mean undirected degree of the crawled edge set (before the
+  /// streaming layer adds random edges). Clamped to [0, 3.5] per the
+  /// paper's description of its traces.
+  double average_degree = 2.5;
+  /// Fraction of broadband hosts (the rest are dial-up, with the
+  /// correspondingly larger ping times).
+  double broadband_fraction = 0.6;
+  /// Pareto shape for the hub-iness of the degree distribution; smaller
+  /// is heavier-tailed.
+  double degree_pareto_shape = 2.2;
+  std::uint64_t seed = 1;
+};
+
+/// Generates one synthetic snapshot. Deterministic in the config.
+[[nodiscard]] TraceSnapshot generate_snapshot(const GeneratorConfig& config);
+
+/// Generates the paper's 30-snapshot corpus: sizes log-spaced between
+/// `min_nodes` and `max_nodes`, per-snapshot degree sampled in
+/// [0.8, 3.5], seeds derived from `seed`.
+[[nodiscard]] std::vector<TraceSnapshot> generate_corpus(std::size_t count,
+                                                         std::size_t min_nodes,
+                                                         std::size_t max_nodes,
+                                                         std::uint64_t seed);
+
+}  // namespace continu::trace

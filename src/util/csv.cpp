@@ -1,0 +1,49 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace continu::util {
+
+namespace {
+void write_row(std::ofstream& out, const std::vector<std::string>& cells,
+               std::string (*escape)(const std::string&)) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out << ',';
+    out << escape(cells[i]);
+  }
+  out << '\n';
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path, std::ios::trunc), arity_(header.size()) {
+  if (arity_ == 0) {
+    throw std::invalid_argument("CsvWriter requires at least one column");
+  }
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  write_row(out_, header, &CsvWriter::escape);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != arity_) {
+    throw std::invalid_argument("CsvWriter row arity mismatch");
+  }
+  write_row(out_, cells, &CsvWriter::escape);
+  ++rows_;
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quote = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace continu::util

@@ -1,0 +1,31 @@
+#pragma once
+// Minimal CSV emitter so every bench can dump machine-readable series
+// next to its human-readable table (for replotting the figures).
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace continu::util {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Number of data rows written so far.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+
+  [[nodiscard]] bool ok() const noexcept { return static_cast<bool>(out_); }
+
+ private:
+  static std::string escape(const std::string& field);
+
+  std::ofstream out_;
+  std::size_t arity_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace continu::util

@@ -1,0 +1,32 @@
+#pragma once
+// 64-bit mixing hash used for DHT backup placement.
+//
+// The paper requires hash(id * i) % N to scatter the k replicas of a
+// segment across the ring (Section 4.3: multiplying rather than adding
+// the replica index i disperses consecutive segment ids over distinct
+// nodes). Any well-mixing common hash qualifies; we use the SplitMix64
+// finalizer, which passes avalanche tests and is constexpr-evaluable.
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace continu::util {
+
+/// SplitMix64 finalizer: full-avalanche 64-bit mix.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// DHT target of the i-th replica (i in 1..k) of segment `id` on an ID
+/// space of size `id_space`: hash(id * i) mod N, exactly as in the paper.
+[[nodiscard]] constexpr std::uint64_t backup_target(SegmentId id, unsigned replica,
+                                                    std::uint64_t id_space) noexcept {
+  const auto key = static_cast<std::uint64_t>(id) * replica;
+  return mix64(key) % id_space;
+}
+
+}  // namespace continu::util

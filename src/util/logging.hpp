@@ -1,0 +1,40 @@
+#pragma once
+// Leveled logging with a process-global threshold. Simulation code logs
+// through this so benches can silence it wholesale; tests can raise the
+// level to debug a failing scenario.
+
+#include <sstream>
+#include <string>
+
+namespace continu::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+/// Stream-style helper: Log(LogLevel::kInfo) << "x=" << x;  (flushes on
+/// destruction). Kept as a class, not a macro, per the no-macros rule.
+class Log {
+ public:
+  explicit Log(LogLevel level) noexcept : level_(level) {}
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+  ~Log() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  Log& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace continu::util

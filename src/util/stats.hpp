@@ -1,0 +1,59 @@
+#pragma once
+// Small statistics toolkit for metrics and benchmark reporting.
+
+#include <cstddef>
+#include <vector>
+
+namespace continu::util {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void clear() noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  [[nodiscard]] double mean() const noexcept;
+  /// Population variance; 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample set via linear interpolation (q in [0,1]).
+/// The input is copied and sorted; intended for end-of-run reporting.
+[[nodiscard]] double percentile(std::vector<double> samples, double q);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values
+/// outside the range clamp into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t bucket(std::size_t i) const noexcept { return counts_[i]; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Midpoint value of bucket i.
+  [[nodiscard]] double bucket_mid(std::size_t i) const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace continu::util

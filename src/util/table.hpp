@@ -1,0 +1,31 @@
+#pragma once
+// ASCII table rendering for benchmark harness output. Every figure/table
+// reproduction prints its rows through this, so the harness output reads
+// like the paper's tables.
+
+#include <string>
+#include <vector>
+
+namespace continu::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  [[nodiscard]] static std::string num(double v, int precision = 4);
+
+  /// Renders with aligned columns and a header rule.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace continu::util

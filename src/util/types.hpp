@@ -1,0 +1,27 @@
+#pragma once
+// Basic vocabulary types shared by every ContinuStreaming module.
+
+#include <cstdint>
+#include <limits>
+
+namespace continu {
+
+/// Logical node identifier in the DHT ID space [0, N).
+using NodeId = std::uint32_t;
+
+/// Monotonically increasing media segment identifier (source-assigned).
+using SegmentId = std::int64_t;
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+/// Communication cost in bits (all overhead accounting is bit-exact).
+using Bits = std::uint64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "no segment".
+inline constexpr SegmentId kInvalidSegment = -1;
+
+}  // namespace continu

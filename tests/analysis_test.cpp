@@ -1,0 +1,283 @@
+// Tests for the theoretical models — including exact reproduction of the
+// paper's Section 5.1 table values for lambda = 14, 15.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/continuity_model.hpp"
+#include "analysis/coverage.hpp"
+#include "analysis/poisson.hpp"
+
+namespace continu::analysis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Poisson
+// ---------------------------------------------------------------------------
+
+TEST(Poisson, PmfSumsToOne) {
+  for (const double mean : {0.5, 1.0, 5.0, 15.0, 50.0}) {
+    double sum = 0.0;
+    for (std::uint64_t n = 0; n < 400; ++n) sum += poisson_pmf(n, mean);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "mean=" << mean;
+  }
+}
+
+TEST(Poisson, PmfMatchesClosedForm) {
+  // P{N=3} with mean 2: e^-2 * 2^3 / 3! = e^-2 * 8/6.
+  EXPECT_NEAR(poisson_pmf(3, 2.0), std::exp(-2.0) * 8.0 / 6.0, 1e-12);
+}
+
+TEST(Poisson, MeanIsLambdaT) {
+  const double mean = 15.0;
+  double expectation = 0.0;
+  for (std::uint64_t n = 0; n < 400; ++n) {
+    expectation += static_cast<double>(n) * poisson_pmf(n, mean);
+  }
+  EXPECT_NEAR(expectation, mean, 1e-6);  // eq. 10
+}
+
+TEST(Poisson, CdfMonotone) {
+  double prev = 0.0;
+  for (std::uint64_t n = 0; n < 50; ++n) {
+    const double c = poisson_cdf(n, 15.0);
+    EXPECT_GE(c, prev);
+    EXPECT_LE(c, 1.0 + 1e-12);
+    prev = c;
+  }
+}
+
+TEST(Poisson, CdfMatchesPmfSum) {
+  double sum = 0.0;
+  for (std::uint64_t n = 0; n <= 10; ++n) sum += poisson_pmf(n, 15.0);
+  EXPECT_NEAR(poisson_cdf(10, 15.0), sum, 1e-12);
+}
+
+TEST(Poisson, ZeroMeanDegenerate) {
+  EXPECT_DOUBLE_EQ(poisson_pmf(0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(poisson_pmf(3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(poisson_cdf(5, 0.0), 1.0);
+}
+
+TEST(Poisson, LargeMeanStable) {
+  // Must not overflow/underflow for big means.
+  const double p = poisson_pmf(1000, 1000.0);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+  EXPECT_NEAR(poisson_cdf(100000, 1000.0), 1.0, 1e-9);
+}
+
+TEST(Poisson, ExpectedShortfallMatchesEq12) {
+  // Nmiss = sum_{n<m} (m-n) P{N=n}; brute-force cross-check.
+  const double mean = 14.0;
+  const std::uint64_t m = 10;
+  double brute = 0.0;
+  for (std::uint64_t n = 0; n < m; ++n) {
+    brute += static_cast<double>(m - n) * poisson_pmf(n, mean);
+  }
+  EXPECT_NEAR(poisson_expected_shortfall(m, mean), brute, 1e-12);
+}
+
+TEST(Poisson, ShortfallZeroWhenDemandZero) {
+  EXPECT_DOUBLE_EQ(poisson_expected_shortfall(0, 15.0), 0.0);
+}
+
+TEST(Poisson, NegativeMeanRejected) {
+  EXPECT_THROW((void)poisson_pmf(0, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)poisson_cdf(0, -1.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Continuity model vs the paper's table (Section 5.1)
+// ---------------------------------------------------------------------------
+
+TEST(ContinuityModel, PaperTableLambda15) {
+  // "Theoretical result with lambda=15": PCold 0.8815, PCnew 0.9989,
+  // delta 0.1174 (p = 10, tau = 1, k = 4).
+  ContinuityInputs in;
+  in.lambda = 15.0;
+  in.tau = 1.0;
+  in.p = 10;
+  in.k = 4;
+  const auto out = predict_continuity(in);
+  EXPECT_NEAR(out.pc_old, 0.8815, 0.0005);
+  EXPECT_NEAR(out.pc_new, 0.9989, 0.0005);
+  EXPECT_NEAR(out.delta, 0.1174, 0.001);
+}
+
+TEST(ContinuityModel, PaperTableLambda14) {
+  // "Theoretical result with lambda=14": PCold 0.8243, PCnew 0.9975,
+  // delta 0.1732.
+  ContinuityInputs in;
+  in.lambda = 14.0;
+  const auto out = predict_continuity(in);
+  EXPECT_NEAR(out.pc_old, 0.8243, 0.0005);
+  EXPECT_NEAR(out.pc_new, 0.9975, 0.0005);
+  EXPECT_NEAR(out.delta, 0.1732, 0.001);
+}
+
+TEST(ContinuityModel, DeltaIsDifference) {
+  ContinuityInputs in;
+  const auto out = predict_continuity(in);
+  EXPECT_NEAR(out.delta, out.pc_new - out.pc_old, 1e-12);
+}
+
+TEST(ContinuityModel, PcNewAtLeastPcOld) {
+  for (const double lambda : {5.0, 10.0, 12.0, 15.0, 20.0, 30.0}) {
+    ContinuityInputs in;
+    in.lambda = lambda;
+    const auto out = predict_continuity(in);
+    EXPECT_GE(out.pc_new, out.pc_old) << lambda;
+    EXPECT_GE(out.pc_old, 0.0);
+    EXPECT_LE(out.pc_new, 1.0);
+  }
+}
+
+TEST(ContinuityModel, MoreBandwidthMoreContinuity) {
+  ContinuityInputs lo;
+  lo.lambda = 12.0;
+  ContinuityInputs hi;
+  hi.lambda = 18.0;
+  EXPECT_LT(predict_continuity(lo).pc_old, predict_continuity(hi).pc_old);
+}
+
+TEST(ContinuityModel, MoreReplicasMoreContinuity) {
+  ContinuityInputs k1;
+  k1.k = 1;
+  ContinuityInputs k6;
+  k6.k = 6;
+  EXPECT_LT(predict_continuity(k1).pc_new, predict_continuity(k6).pc_new);
+}
+
+TEST(ContinuityModel, ZeroReplicasNoImprovement) {
+  ContinuityInputs in;
+  in.k = 0;
+  const auto out = predict_continuity(in);
+  EXPECT_NEAR(out.delta, 0.0, 1e-12);
+}
+
+TEST(ContinuityModel, TriggerProbabilityIsEq11) {
+  ContinuityInputs in;
+  in.lambda = 15.0;
+  const auto out = predict_continuity(in);
+  EXPECT_NEAR(out.trigger_probability, poisson_cdf(10, 15.0), 1e-12);
+}
+
+TEST(ContinuityModel, PrefetchFailureProbability) {
+  EXPECT_DOUBLE_EQ(prefetch_all_fail_probability(0), 1.0);
+  EXPECT_DOUBLE_EQ(prefetch_all_fail_probability(1), 0.5);
+  EXPECT_DOUBLE_EQ(prefetch_all_fail_probability(4), 1.0 / 16.0);
+}
+
+TEST(ContinuityModel, FetchTimeMatchesEq7) {
+  // t_fetch = (log2(n)/2 + 3) * t_hop; n = 1000, t_hop = 50 ms -> ~0.4 s
+  // (the paper rounds log2(1000)/2 ~ 5 to get 8 * 50 ms).
+  const double t = expected_fetch_time_s(1000.0, 0.05);
+  EXPECT_NEAR(t, (std::log2(1000.0) / 2.0 + 3.0) * 0.05, 1e-12);
+  EXPECT_NEAR(t, 0.4, 0.01);
+}
+
+TEST(ContinuityModel, InitialAlphaMatchesEq9) {
+  // alpha = p/B * max(tau, t_fetch) = 10/600 * 1 = 1/60.
+  EXPECT_NEAR(initial_urgent_ratio(10, 600, 1.0, 0.4), 1.0 / 60.0, 1e-12);
+  // When t_fetch dominates it scales up.
+  EXPECT_NEAR(initial_urgent_ratio(10, 600, 1.0, 3.0), 0.05, 1e-12);
+}
+
+TEST(ContinuityModel, RejectsBadInputs) {
+  ContinuityInputs in;
+  in.tau = 0.0;
+  EXPECT_THROW((void)predict_continuity(in), std::invalid_argument);
+  EXPECT_THROW((void)expected_fetch_time_s(0.5, 0.05), std::invalid_argument);
+  EXPECT_THROW((void)initial_urgent_ratio(10, 0, 1.0, 0.4), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Coverage formulas
+// ---------------------------------------------------------------------------
+
+TEST(Coverage, KermarrecConvergesToOne) {
+  EXPECT_NEAR(kermarrec_coverage(0.0), std::exp(-1.0), 1e-12);
+  EXPECT_GT(kermarrec_coverage(3.0), 0.95);
+  EXPECT_GT(kermarrec_coverage(5.0), 0.99);
+  EXPECT_LT(kermarrec_coverage(-2.0), 0.01);
+}
+
+TEST(Coverage, KermarrecMonotone) {
+  double prev = 0.0;
+  for (double c = -3.0; c <= 5.0; c += 0.5) {
+    const double v = kermarrec_coverage(c);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Coverage, CoolStreamingFormula) {
+  // 1 - exp(-M (M-1)^(d-2) / ((M-2) n)).
+  const double v = coolstreaming_coverage(5, 6, 1000.0);
+  const double expected = 1.0 - std::exp(-5.0 * std::pow(4.0, 4.0) / (3.0 * 1000.0));
+  EXPECT_NEAR(v, expected, 1e-12);
+}
+
+TEST(Coverage, CoolStreamingGrowsWithDistance) {
+  double prev = 0.0;
+  for (unsigned d = 2; d <= 12; ++d) {
+    const double v = coolstreaming_coverage(5, d, 1000.0);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_GT(prev, 0.99);  // deep enough gossip covers everyone
+}
+
+TEST(Coverage, CoverageDistanceFindsThreshold) {
+  const unsigned d = coverage_distance(5, 1000.0, 0.99);
+  EXPECT_GE(d, 2u);
+  EXPECT_GE(coolstreaming_coverage(5, d, 1000.0), 0.99);
+  EXPECT_LT(coolstreaming_coverage(5, d - 1, 1000.0), 0.99);
+}
+
+TEST(Coverage, LargerNetworksNeedDeeperGossip) {
+  EXPECT_LE(coverage_distance(5, 100.0, 0.99), coverage_distance(5, 8000.0, 0.99));
+}
+
+TEST(Coverage, RejectsBadArguments) {
+  EXPECT_THROW((void)coolstreaming_coverage(2, 3, 100.0), std::invalid_argument);
+  EXPECT_THROW((void)coolstreaming_coverage(5, 1, 100.0), std::invalid_argument);
+  EXPECT_THROW((void)coolstreaming_coverage(5, 3, 0.0), std::invalid_argument);
+}
+
+TEST(Coverage, ControlOverheadModelMatchesPaper) {
+  // Section 5.4.2: overhead = 620 M / (30*1024*10), which the paper
+  // rounds to M/495.
+  EXPECT_NEAR(control_overhead_model(5, 10), 5.0 / 495.0, 2e-4);
+  EXPECT_NEAR(control_overhead_model(4, 10), 4.0 / 495.0, 2e-4);
+  EXPECT_NEAR(control_overhead_model(6, 10), 6.0 / 495.0, 2e-4);
+  EXPECT_LT(control_overhead_model(6, 10), 0.02);  // Fig. 9's ceiling
+}
+
+TEST(Coverage, PrefetchCostMatchesPaper) {
+  // Section 5.4.3: ~ (k(log2 n / 2 + 1) + 1) * 80 + 30*1024 ~ 33000 bits
+  // for k = 4, n <= 8000.
+  const double bits = prefetch_cost_bits(4, 8000.0);
+  EXPECT_NEAR(bits, 33000.0, 1500.0);
+  EXPECT_GT(bits, 30.0 * 1024.0);  // dominated by the segment itself
+}
+
+class ContinuityModelSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ContinuityModelSweep, DeltaShrinksAsLambdaGrows) {
+  // With abundant bandwidth, gossip alone suffices and the DHT adds
+  // little — delta must decay in lambda.
+  ContinuityInputs lo;
+  lo.lambda = GetParam();
+  ContinuityInputs hi;
+  hi.lambda = GetParam() + 5.0;
+  EXPECT_GE(predict_continuity(lo).delta, predict_continuity(hi).delta - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, ContinuityModelSweep,
+                         ::testing::Values(11.0, 13.0, 15.0, 18.0, 22.0));
+
+}  // namespace
+}  // namespace continu::analysis

@@ -1,0 +1,102 @@
+// Unit tests for the metrics library.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "metrics/collector.hpp"
+#include "metrics/continuity.hpp"
+
+namespace continu::metrics {
+namespace {
+
+TEST(Continuity, RatioComputation) {
+  RoundContinuity r{1.0, 83, 100};
+  EXPECT_DOUBLE_EQ(r.ratio(), 0.83);
+  RoundContinuity empty{1.0, 0, 0};
+  EXPECT_DOUBLE_EQ(empty.ratio(), 0.0);
+}
+
+TEST(Continuity, TrackerRecordsRounds) {
+  ContinuityTracker tracker;
+  tracker.record_round(1.0, 50, 100);
+  tracker.record_round(2.0, 80, 100);
+  ASSERT_EQ(tracker.rounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(tracker.rounds()[0].ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(tracker.rounds()[1].ratio(), 0.8);
+}
+
+TEST(Continuity, StableMeanIgnoresWarmup) {
+  ContinuityTracker tracker;
+  tracker.record_round(1.0, 10, 100);   // warm-up
+  tracker.record_round(10.0, 90, 100);
+  tracker.record_round(11.0, 94, 100);
+  EXPECT_DOUBLE_EQ(tracker.stable_mean(10.0), 0.92);
+}
+
+TEST(Continuity, StableMeanEmptyRangeIsZero) {
+  ContinuityTracker tracker;
+  tracker.record_round(1.0, 50, 100);
+  EXPECT_DOUBLE_EQ(tracker.stable_mean(100.0), 0.0);
+}
+
+TEST(Continuity, StabilizationTime) {
+  ContinuityTracker tracker;
+  tracker.record_round(1.0, 10, 100);
+  tracker.record_round(2.0, 60, 100);
+  tracker.record_round(3.0, 95, 100);
+  EXPECT_DOUBLE_EQ(tracker.stabilization_time(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(tracker.stabilization_time(0.9), 3.0);
+  EXPECT_DOUBLE_EQ(tracker.stabilization_time(0.99), -1.0);
+}
+
+TEST(Collector, RecordAndRead) {
+  SeriesCollector collector;
+  collector.record("x", 1.0, 10.0);
+  collector.record("x", 2.0, 20.0);
+  collector.record("y", 1.0, -1.0);
+  ASSERT_TRUE(collector.has("x"));
+  ASSERT_EQ(collector.series("x").size(), 2u);
+  EXPECT_DOUBLE_EQ(collector.series("x")[1].value, 20.0);
+  EXPECT_EQ(collector.names(), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(Collector, UnknownSeriesThrows) {
+  SeriesCollector collector;
+  EXPECT_THROW((void)collector.series("nope"), std::out_of_range);
+}
+
+TEST(Collector, Summarize) {
+  SeriesCollector collector;
+  collector.record("x", 1.0, 2.0);
+  collector.record("x", 2.0, 4.0);
+  const auto stats = collector.summarize("x");
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+  EXPECT_EQ(stats.count(), 2u);
+}
+
+TEST(Collector, MeanFrom) {
+  SeriesCollector collector;
+  collector.record("x", 1.0, 100.0);
+  collector.record("x", 10.0, 2.0);
+  collector.record("x", 11.0, 4.0);
+  EXPECT_DOUBLE_EQ(collector.mean_from("x", 10.0), 3.0);
+}
+
+TEST(Collector, WritesCsv) {
+  SeriesCollector collector;
+  collector.record("a", 1.0, 0.5);
+  const std::string path = ::testing::TempDir() + "/collector_test.csv";
+  collector.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "series,time,value");
+  std::getline(in, line);
+  EXPECT_EQ(line.substr(0, 2), "a,");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace continu::metrics

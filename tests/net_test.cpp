@@ -1,0 +1,215 @@
+// Unit tests for the network layer: message taxonomy, traffic
+// accounting, the latency model and delivery semantics.
+
+#include <gtest/gtest.h>
+
+#include "net/latency_model.hpp"
+#include "net/message.hpp"
+#include "net/network.hpp"
+#include "net/traffic.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generator.hpp"
+
+namespace continu::net {
+namespace {
+
+TEST(Message, WireCostsMatchPaper) {
+  // Section 5.4.2: 600 window bits + 20 head bits = 620.
+  EXPECT_EQ(WireCosts::kBufferMapBits, 620u);
+  // Section 5.4.3: routing message = 10 bytes = 80 bits.
+  EXPECT_EQ(WireCosts::kDhtRouteBits, 80u);
+  // One segment = 30 Kb (1024-based).
+  EXPECT_EQ(WireCosts::kSegmentBits, 30u * 1024u);
+}
+
+TEST(Message, TrafficClassMapping) {
+  EXPECT_EQ(traffic_class_of(MessageType::kBufferMap), TrafficClass::kControl);
+  EXPECT_EQ(traffic_class_of(MessageType::kSegmentRequest), TrafficClass::kRequest);
+  EXPECT_EQ(traffic_class_of(MessageType::kSegmentData), TrafficClass::kData);
+  EXPECT_EQ(traffic_class_of(MessageType::kDhtRoute), TrafficClass::kPrefetch);
+  EXPECT_EQ(traffic_class_of(MessageType::kDhtReply), TrafficClass::kPrefetch);
+  EXPECT_EQ(traffic_class_of(MessageType::kPrefetchRequest), TrafficClass::kPrefetch);
+  EXPECT_EQ(traffic_class_of(MessageType::kPrefetchData), TrafficClass::kPrefetch);
+  EXPECT_EQ(traffic_class_of(MessageType::kPing), TrafficClass::kMaintenance);
+  EXPECT_EQ(traffic_class_of(MessageType::kHandover), TrafficClass::kMaintenance);
+}
+
+TEST(Message, NamesAreStable) {
+  EXPECT_EQ(message_type_name(MessageType::kBufferMap), "buffer-map");
+  EXPECT_EQ(traffic_class_name(TrafficClass::kPrefetch), "prefetch");
+}
+
+TEST(Message, DefaultBitsPositive) {
+  for (const auto type :
+       {MessageType::kBufferMap, MessageType::kSegmentRequest, MessageType::kSegmentData,
+        MessageType::kDhtRoute, MessageType::kDhtReply, MessageType::kPrefetchRequest,
+        MessageType::kPrefetchData, MessageType::kPing, MessageType::kPong,
+        MessageType::kJoinNotify, MessageType::kHandover}) {
+    EXPECT_GT(default_message_bits(type), 0u) << message_type_name(type);
+  }
+}
+
+TEST(Traffic, ChargesByClass) {
+  TrafficAccount account;
+  account.charge(TrafficClass::kControl, 620);
+  account.charge(TrafficClass::kControl, 620);
+  account.charge(TrafficClass::kData, 30 * 1024);
+  EXPECT_EQ(account.bits(TrafficClass::kControl), 1240u);
+  EXPECT_EQ(account.messages(TrafficClass::kControl), 2u);
+  EXPECT_EQ(account.bits(TrafficClass::kData), 30u * 1024u);
+}
+
+TEST(Traffic, ControlOverheadRatio) {
+  TrafficAccount account;
+  // M = 5 maps against p = 10 segments: 620*5 / (30720*10), which the
+  // paper rounds to M/495.
+  for (int i = 0; i < 5; ++i) account.charge(TrafficClass::kControl, 620);
+  for (int i = 0; i < 10; ++i) account.charge(TrafficClass::kData, 30 * 1024);
+  EXPECT_NEAR(account.control_overhead(), 620.0 * 5.0 / (30.0 * 1024.0 * 10.0), 1e-12);
+  EXPECT_NEAR(account.control_overhead(), 5.0 / 495.0, 2e-4);
+}
+
+TEST(Traffic, OverheadZeroWithoutData) {
+  TrafficAccount account;
+  account.charge(TrafficClass::kControl, 620);
+  EXPECT_DOUBLE_EQ(account.control_overhead(), 0.0);
+  EXPECT_DOUBLE_EQ(account.prefetch_overhead(), 0.0);
+}
+
+TEST(Traffic, SinceComputesDelta) {
+  TrafficAccount account;
+  account.charge(TrafficClass::kData, 100);
+  const TrafficAccount snapshot = account;
+  account.charge(TrafficClass::kData, 50);
+  account.charge(TrafficClass::kPrefetch, 10);
+  const auto delta = account.since(snapshot);
+  EXPECT_EQ(delta.bits(TrafficClass::kData), 50u);
+  EXPECT_EQ(delta.bits(TrafficClass::kPrefetch), 10u);
+  EXPECT_EQ(delta.messages(TrafficClass::kData), 1u);
+}
+
+TEST(Traffic, ClearResets) {
+  TrafficAccount account;
+  account.charge(TrafficClass::kData, 100);
+  account.clear();
+  EXPECT_EQ(account.bits(TrafficClass::kData), 0u);
+  EXPECT_EQ(account.messages(TrafficClass::kData), 0u);
+}
+
+TEST(LatencyModel, PairwiseDifferenceWithFloor) {
+  const LatencyModel model({100.0, 160.0, 101.0}, 5.0);
+  EXPECT_DOUBLE_EQ(model.latency_ms(0, 1), 60.0);
+  EXPECT_DOUBLE_EQ(model.latency_ms(1, 0), 60.0);
+  EXPECT_DOUBLE_EQ(model.latency_ms(0, 2), 5.0);  // floored
+  EXPECT_DOUBLE_EQ(model.latency_s(0, 1), 0.060);
+}
+
+TEST(LatencyModel, RttIsTwiceOneWay) {
+  const LatencyModel model({10.0, 60.0}, 5.0);
+  EXPECT_DOUBLE_EQ(model.rtt_s(0, 1), 2.0 * model.latency_s(0, 1));
+}
+
+TEST(LatencyModel, FromTraceMatchesPings) {
+  trace::GeneratorConfig config;
+  config.node_count = 20;
+  config.seed = 3;
+  const auto snap = trace::generate_snapshot(config);
+  const auto model = LatencyModel::from_trace(snap);
+  EXPECT_EQ(model.node_count(), 20u);
+  const double expected =
+      std::max(std::abs(snap.nodes()[2].ping_ms - snap.nodes()[7].ping_ms), 5.0);
+  EXPECT_DOUBLE_EQ(model.latency_ms(2, 7), expected);
+}
+
+TEST(LatencyModel, AddNodeExtends) {
+  LatencyModel model({10.0}, 5.0);
+  const auto idx = model.add_node(70.0);
+  EXPECT_EQ(idx, 1u);
+  EXPECT_DOUBLE_EQ(model.latency_ms(0, 1), 60.0);
+}
+
+TEST(LatencyModel, AverageLatencyPositive) {
+  const LatencyModel model({10.0, 60.0, 200.0, 450.0}, 5.0);
+  const double avg = model.average_latency_ms();
+  EXPECT_GT(avg, 5.0);
+  EXPECT_LT(avg, 450.0);
+}
+
+TEST(LatencyModel, RejectsEmptyAndNegativeFloor) {
+  EXPECT_THROW(LatencyModel({}, 5.0), std::invalid_argument);
+  EXPECT_THROW(LatencyModel({1.0}, -1.0), std::invalid_argument);
+}
+
+TEST(Network, DeliversAfterLatency) {
+  sim::Simulator sim;
+  Network net(sim, LatencyModel({10.0, 60.0}, 5.0));
+  double delivered_at = -1.0;
+  net.send(0, 1, MessageType::kPing, 80, [&] { delivered_at = sim.now(); });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(delivered_at, 0.050);
+}
+
+TEST(Network, ExtraDelayAddsToLatency) {
+  sim::Simulator sim;
+  Network net(sim, LatencyModel({10.0, 60.0}, 5.0));
+  double delivered_at = -1.0;
+  net.send(0, 1, MessageType::kSegmentData, 30720, [&] { delivered_at = sim.now(); },
+           /*extra_delay=*/0.2);
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(delivered_at, 0.250);
+}
+
+TEST(Network, ChargesTrafficAtSendTime) {
+  sim::Simulator sim;
+  Network net(sim, LatencyModel({10.0, 60.0}, 5.0));
+  net.send(0, 1, MessageType::kSegmentData, 30720, [] {});
+  // Charged immediately, before delivery.
+  EXPECT_EQ(net.traffic().bits(TrafficClass::kData), 30720u);
+}
+
+TEST(Network, FilterDropsDeliveries) {
+  sim::Simulator sim;
+  Network net(sim, LatencyModel({10.0, 60.0}, 5.0));
+  bool delivered = false;
+  net.set_delivery_filter([](std::size_t) { return false; });
+  net.send(0, 1, MessageType::kPing, 80, [&] { delivered = true; });
+  sim.run_all();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.dropped(), 1u);
+  // Bits still charged — they hit the wire.
+  EXPECT_EQ(net.traffic().bits(TrafficClass::kMaintenance), 80u);
+}
+
+TEST(Network, FilterEvaluatedAtDeliveryTime) {
+  sim::Simulator sim;
+  Network net(sim, LatencyModel({10.0, 60.0}, 5.0));
+  bool alive = true;
+  bool delivered = false;
+  net.set_delivery_filter([&](std::size_t) { return alive; });
+  net.send(0, 1, MessageType::kPing, 80, [&] { delivered = true; });
+  // The destination dies while the packet is in flight.
+  sim.schedule_in(0.01, [&] { alive = false; });
+  sim.run_all();
+  EXPECT_FALSE(delivered);
+}
+
+TEST(Network, ChargeOnlyCountsWithoutEvent) {
+  sim::Simulator sim;
+  Network net(sim, LatencyModel({10.0, 60.0}, 5.0));
+  net.charge_only(MessageType::kBufferMap, 620);
+  EXPECT_EQ(net.traffic().bits(TrafficClass::kControl), 620u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Network, OrderedDeliveriesBetweenSamePair) {
+  sim::Simulator sim;
+  Network net(sim, LatencyModel({10.0, 60.0}, 5.0));
+  std::vector<int> order;
+  net.send(0, 1, MessageType::kPing, 80, [&] { order.push_back(1); });
+  net.send(0, 1, MessageType::kPing, 80, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace continu::net

@@ -1,0 +1,246 @@
+// Unit tests for the discrete-event engine.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace continu::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<double> popped;
+  q.push(Event{3.0, 1, [] {}});
+  q.push(Event{1.0, 2, [] {}});
+  q.push(Event{2.0, 3, [] {}});
+  while (!q.empty()) popped.push_back(q.pop().time);
+  EXPECT_EQ(popped, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(EventQueue, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<EventId> order;
+  q.push(Event{1.0, 10, [] {}});
+  q.push(Event{1.0, 11, [] {}});
+  q.push(Event{1.0, 12, [] {}});
+  while (!q.empty()) order.push_back(q.pop().id);
+  EXPECT_EQ(order, (std::vector<EventId>{10, 11, 12}));
+}
+
+TEST(EventQueue, CancelPendingEvent) {
+  EventQueue q;
+  q.push(Event{1.0, 1, [] {}});
+  q.push(Event{2.0, 2, [] {}});
+  EXPECT_TRUE(q.cancel(1));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop().id, 2u);
+}
+
+TEST(EventQueue, CancelUnknownIsNoOp) {
+  EventQueue q;
+  q.push(Event{1.0, 1, [] {}});
+  EXPECT_FALSE(q.cancel(99));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelFiredIsNoOp) {
+  EventQueue q;
+  q.push(Event{1.0, 1, [] {}});
+  (void)q.pop();
+  EXPECT_FALSE(q.cancel(1));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DoubleCancelCountsOnce) {
+  EventQueue q;
+  q.push(Event{1.0, 1, [] {}});
+  q.push(Event{2.0, 2, [] {}});
+  EXPECT_TRUE(q.cancel(1));
+  EXPECT_FALSE(q.cancel(1));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  q.push(Event{1.0, 1, [] {}});
+  q.push(Event{5.0, 2, [] {}});
+  q.cancel(1);
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW((void)q.pop(), std::logic_error);
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  double observed = -1.0;
+  sim.schedule_in(2.5, [&] { observed = sim.now(); });
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(observed, 2.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(1.0, [&] { ++fired; });
+  sim.schedule_in(5.0, [&] { ++fired; });
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventAtExactHorizonRuns) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(3.0, [&] { fired = true; });
+  sim.run_until(3.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.schedule_in(1.0, [] {});
+  sim.run_until(1.0);
+  bool fired = false;
+  sim.schedule_in(-5.0, [&] { fired = true; });
+  sim.run_until(1.0);
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
+TEST(Simulator, ScheduledActionsCanSchedule) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_in(1.0, [&] {
+    times.push_back(sim.now());
+    sim.schedule_in(1.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run_all();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_in(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, EmptyActionRejected) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_in(1.0, std::function<void()>{}), std::invalid_argument);
+}
+
+TEST(Simulator, ExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_in(i, [] {});
+  sim.run_all();
+  EXPECT_EQ(sim.executed(), 5u);
+}
+
+TEST(Simulator, StepRunsOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(1.0, [&] { ++fired; });
+  sim.schedule_in(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, DeterministicTieBreaking) {
+  // Two events at the same instant run in scheduling order.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(PeriodicProcess, TicksAtPeriod) {
+  Simulator sim;
+  std::vector<double> ticks;
+  PeriodicProcess p(sim, 1.0, [&] { ticks.push_back(sim.now()); });
+  p.start(0.5);
+  sim.run_until(4.0);
+  EXPECT_EQ(ticks, (std::vector<double>{0.5, 1.5, 2.5, 3.5}));
+}
+
+TEST(PeriodicProcess, StopHaltsTicks) {
+  Simulator sim;
+  int count = 0;
+  PeriodicProcess p(sim, 1.0, [&] { ++count; });
+  p.start(1.0);
+  sim.run_until(2.5);
+  p.stop();
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(p.running());
+}
+
+TEST(PeriodicProcess, StopFromWithinTick) {
+  Simulator sim;
+  int count = 0;
+  PeriodicProcess p(sim, 1.0, [&] {
+    ++count;
+    if (count == 3) p.stop();
+  });
+  p.start(1.0);
+  sim.run_until(100.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicProcess, RestartAfterStop) {
+  Simulator sim;
+  int count = 0;
+  PeriodicProcess p(sim, 1.0, [&] { ++count; });
+  p.start(1.0);
+  sim.run_until(1.5);
+  p.stop();
+  p.start(1.0);
+  sim.run_until(3.0);
+  EXPECT_EQ(count, 2);  // one before stop, one after restart (t=2.5)
+}
+
+TEST(PeriodicProcess, DoubleStartIsNoOp) {
+  Simulator sim;
+  int count = 0;
+  PeriodicProcess p(sim, 1.0, [&] { ++count; });
+  p.start(1.0);
+  p.start(0.1);  // ignored
+  sim.run_until(1.0);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(PeriodicProcess, RejectsBadArguments) {
+  Simulator sim;
+  EXPECT_THROW(PeriodicProcess(sim, 0.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(PeriodicProcess(sim, 1.0, std::function<void()>{}), std::invalid_argument);
+}
+
+TEST(PeriodicProcess, DestructorCancelsPendingTick) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicProcess p(sim, 1.0, [&] { ++count; });
+    p.start(1.0);
+  }
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace continu::sim

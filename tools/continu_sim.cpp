@@ -1,0 +1,227 @@
+// continu_sim — command-line driver for the ContinuStreaming simulator.
+//
+// Runs one full session on a synthetic clip2-style trace (or a trace
+// file) and reports the paper's metrics. Designed for scripted sweeps:
+// every knob of SystemConfig that the evaluation varies is a flag, and
+// --csv dumps the per-round series for plotting.
+//
+// Examples:
+//   continu_sim --nodes 1000 --duration 45
+//   continu_sim --nodes 1000 --churn 0.05 --system cool --seed 3
+//   continu_sim --trace snapshot.trace --system gridmedia --csv run.csv
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/session.hpp"
+#include "net/message.hpp"
+#include "trace/generator.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+struct CliOptions {
+  std::size_t nodes = 1000;
+  double duration = 45.0;
+  double stable_from = 20.0;
+  double churn = 0.0;
+  std::uint64_t seed = 42;
+  std::uint64_t trace_seed = 1;
+  std::size_t neighbors = 5;
+  unsigned replicas = 4;
+  unsigned prefetch_limit = 5;
+  bool homogeneous = false;
+  std::string system = "continu";
+  std::string trace_path;
+  std::string csv_path;
+  bool quiet = false;
+};
+
+void print_usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --nodes N          overlay size for the synthetic trace (default 1000)\n"
+      "  --trace FILE       load a trace snapshot instead of generating one\n"
+      "  --duration SEC     virtual seconds to simulate (default 45)\n"
+      "  --stable-from SEC  start of the stable measurement window (default 20)\n"
+      "  --system NAME      continu | cool | gridmedia (default continu)\n"
+      "  --churn F          per-round leave AND join fraction (default 0 = static)\n"
+      "  --neighbors M      connected-neighbor target (default 5)\n"
+      "  --replicas K       DHT backups per segment (default 4)\n"
+      "  --prefetch-limit L max pre-fetches per invocation (default 5)\n"
+      "  --homogeneous      give every node the mean bandwidth\n"
+      "  --seed S           simulation seed (default 42)\n"
+      "  --trace-seed S     trace generator seed (default 1)\n"
+      "  --csv FILE         dump per-round series as CSV\n"
+      "  --quiet            print only the final summary line\n"
+      "  --help             this text\n",
+      argv0);
+}
+
+[[nodiscard]] std::optional<CliOptions> parse(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0]);
+      return std::nullopt;
+    } else if (arg == "--nodes") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.nodes = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.trace_path = v;
+    } else if (arg == "--duration") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.duration = std::strtod(v, nullptr);
+    } else if (arg == "--stable-from") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.stable_from = std::strtod(v, nullptr);
+    } else if (arg == "--system") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.system = v;
+    } else if (arg == "--churn") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.churn = std::strtod(v, nullptr);
+    } else if (arg == "--neighbors") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.neighbors = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--replicas") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.replicas = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--prefetch-limit") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.prefetch_limit = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--homogeneous") {
+      opt.homogeneous = true;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--trace-seed") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.trace_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--csv") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.csv_path = v;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      print_usage(argv[0]);
+      return std::nullopt;
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace continu;
+
+  const auto parsed = parse(argc, argv);
+  if (!parsed.has_value()) return 1;
+  const CliOptions& opt = *parsed;
+
+  core::SystemConfig config;
+  config.seed = opt.seed;
+  config.connected_neighbors = opt.neighbors;
+  config.backup_replicas = opt.replicas;
+  config.prefetch_limit = opt.prefetch_limit;
+  config.heterogeneous_bandwidth = !opt.homogeneous;
+  if (opt.churn > 0.0) {
+    config.churn_enabled = true;
+    config.churn.leave_fraction = opt.churn;
+    config.churn.join_fraction = opt.churn;
+  }
+  if (opt.system == "cool") {
+    config.scheduler = core::SchedulerKind::kCoolStreaming;
+  } else if (opt.system == "gridmedia") {
+    config.scheduler = core::SchedulerKind::kGridMediaPushPull;
+  } else if (opt.system != "continu") {
+    std::fprintf(stderr, "unknown system '%s' (continu|cool|gridmedia)\n",
+                 opt.system.c_str());
+    return 1;
+  }
+
+  trace::TraceSnapshot snapshot = [&] {
+    if (!opt.trace_path.empty()) {
+      return trace::TraceSnapshot::load_file(opt.trace_path);
+    }
+    trace::GeneratorConfig tc;
+    tc.node_count = opt.nodes;
+    tc.seed = opt.trace_seed;
+    return trace::generate_snapshot(tc);
+  }();
+  config.expected_nodes = static_cast<double>(snapshot.node_count());
+
+  core::Session session(config, snapshot);
+  session.run(opt.duration);
+
+  const double continuity = session.continuity().stable_mean(opt.stable_from);
+  const double index =
+      session.collector().mean_from("continuity_index", opt.stable_from);
+  const auto& stats = session.stats();
+
+  if (!opt.quiet) {
+    std::printf("system            : %s\n", opt.system.c_str());
+    std::printf("nodes             : %zu (alive at end: %zu)\n",
+                snapshot.node_count(), session.alive_count());
+    std::printf("duration          : %.0f s (stable window from %.0f s)\n",
+                opt.duration, opt.stable_from);
+    std::printf("playback continuity: %.4f\n", continuity);
+    std::printf("continuity index  : %.4f\n", index);
+    std::printf("control overhead  : %.5f\n", session.traffic().control_overhead());
+    std::printf("prefetch overhead : %.5f (stable-phase %.5f)\n",
+                session.traffic().prefetch_overhead(),
+                session.collector().mean_from("prefetch_overhead_round",
+                                              opt.stable_from));
+    std::printf("emitted/delivered : %lld / %llu (duplicates %llu, pushed %llu)\n",
+                static_cast<long long>(session.emitted()),
+                static_cast<unsigned long long>(stats.segments_delivered),
+                static_cast<unsigned long long>(stats.duplicate_deliveries),
+                static_cast<unsigned long long>(stats.segments_pushed));
+    std::printf("prefetch launched : %llu (ok %llu, no-replica %llu)\n",
+                static_cast<unsigned long long>(stats.prefetch_launched),
+                static_cast<unsigned long long>(stats.prefetch_succeeded),
+                static_cast<unsigned long long>(stats.prefetch_no_replica));
+    std::printf("churn             : joins %llu, leaves %llu (graceful %llu)\n",
+                static_cast<unsigned long long>(stats.joins),
+                static_cast<unsigned long long>(stats.graceful_leaves +
+                                                stats.abrupt_leaves),
+                static_cast<unsigned long long>(stats.graceful_leaves));
+  } else {
+    std::printf("%s n=%zu churn=%.3f continuity=%.4f index=%.4f prefetch_oh=%.5f\n",
+                opt.system.c_str(), snapshot.node_count(), opt.churn, continuity,
+                index, session.traffic().prefetch_overhead());
+  }
+
+  if (!opt.csv_path.empty()) {
+    session.collector().write_csv(opt.csv_path);
+    if (!opt.quiet) std::printf("series CSV        : %s\n", opt.csv_path.c_str());
+  }
+  return 0;
+}
