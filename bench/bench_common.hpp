@@ -1,16 +1,28 @@
 #pragma once
 // Shared plumbing for the figure/table reproduction harnesses: standard
-// workload construction, full-session execution, and result records.
+// workload construction, runner-backed execution, and result records.
+//
+// Every bench builds a batch of ReplicationSpecs and hands them to the
+// ExperimentRunner, which shards the independent sessions across a
+// thread pool (CONTINU_BENCH_JOBS env var overrides the job count; 0 or
+// unset = all hardware threads). Results come back in spec order and
+// are identical for any job count, so tables stay reproducible.
 //
 // Every bench prints the paper-style table to stdout and drops a CSV
 // next to the working directory for replotting.
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/session.hpp"
 #include "net/message.hpp"
+#include "runner/experiment_runner.hpp"
+#include "runner/scenario.hpp"
 #include "trace/generator.hpp"
 #include "util/table.hpp"
 
@@ -18,13 +30,18 @@ namespace continu::bench {
 
 /// The paper's standard workload (Section 5.2) on a synthetic
 /// clip2-style snapshot of `nodes` hosts.
-[[nodiscard]] inline trace::TraceSnapshot standard_trace(std::size_t nodes,
-                                                         std::uint64_t seed) {
+[[nodiscard]] inline trace::GeneratorConfig standard_trace_config(std::size_t nodes,
+                                                                  std::uint64_t seed) {
   trace::GeneratorConfig config;
   config.node_count = nodes;
   config.average_degree = 2.5;
   config.seed = seed;
-  return trace::generate_snapshot(config);
+  return config;
+}
+
+[[nodiscard]] inline trace::TraceSnapshot standard_trace(std::size_t nodes,
+                                                         std::uint64_t seed) {
+  return trace::generate_snapshot(standard_trace_config(nodes, seed));
 }
 
 /// Default run horizons: the paper tracks 0-30 s and reports stable-phase
@@ -33,29 +50,6 @@ struct Horizon {
   double duration = 45.0;
   double stable_from = 20.0;
 };
-
-struct RunSummary {
-  double stable_continuity = 0.0;
-  double stabilization_time = -1.0;   ///< first round reaching 90% of stable
-  double control_overhead = 0.0;
-  double prefetch_overhead = 0.0;
-  core::SessionStats stats;
-};
-
-[[nodiscard]] inline RunSummary run_summary(const core::SystemConfig& config,
-                                            const trace::TraceSnapshot& snapshot,
-                                            Horizon horizon = {}) {
-  core::Session session(config, snapshot);
-  session.run(horizon.duration);
-  RunSummary out;
-  out.stable_continuity = session.continuity().stable_mean(horizon.stable_from);
-  out.stabilization_time =
-      session.continuity().stabilization_time(0.9 * out.stable_continuity);
-  out.control_overhead = session.traffic().control_overhead();
-  out.prefetch_overhead = session.traffic().prefetch_overhead();
-  out.stats = session.stats();
-  return out;
-}
 
 /// Paper-standard system configuration for a run over `nodes` hosts.
 [[nodiscard]] inline core::SystemConfig standard_config(std::size_t nodes,
@@ -66,6 +60,59 @@ struct RunSummary {
   config.expected_nodes = static_cast<double>(nodes);
   config.churn_enabled = churn;
   return config;
+}
+
+/// Spec over a generated standard trace (workers build the snapshot).
+[[nodiscard]] inline runner::ReplicationSpec standard_spec(
+    const core::SystemConfig& config, std::size_t nodes, std::uint64_t trace_seed,
+    std::string label = "", Horizon horizon = {}) {
+  runner::ReplicationSpec spec;
+  spec.label = std::move(label);
+  spec.config = config;
+  spec.trace = standard_trace_config(nodes, trace_seed);
+  spec.duration = horizon.duration;
+  spec.stable_from = horizon.stable_from;
+  return spec;
+}
+
+/// Spec over a pre-built snapshot (corpus sweeps, loaded trace files).
+[[nodiscard]] inline runner::ReplicationSpec snapshot_spec(
+    const core::SystemConfig& config,
+    std::shared_ptr<const trace::TraceSnapshot> snapshot, std::string label = "",
+    Horizon horizon = {}) {
+  runner::ReplicationSpec spec;
+  spec.label = std::move(label);
+  spec.config = config;
+  spec.snapshot = std::move(snapshot);
+  spec.duration = horizon.duration;
+  spec.stable_from = horizon.stable_from;
+  return spec;
+}
+
+/// Bench job count: CONTINU_BENCH_JOBS env var, else 0 (= all cores).
+[[nodiscard]] inline unsigned bench_jobs() {
+  if (const char* env = std::getenv("CONTINU_BENCH_JOBS")) {
+    return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  return 0;
+}
+
+/// Runs a batch of specs through the shared thread pool, spec order out.
+[[nodiscard]] inline std::vector<runner::ReplicationResult> run_batch(
+    const std::vector<runner::ReplicationSpec>& specs) {
+  const runner::ExperimentRunner pool(bench_jobs());
+  return pool.run_all(specs);
+}
+
+/// Named-scenario lookup that exits with a diagnostic instead of UB
+/// when the matrix no longer has the name.
+[[nodiscard]] inline runner::Scenario require_scenario(const std::string& name) {
+  auto scenario = runner::find_scenario(name);
+  if (!scenario.has_value()) {
+    std::fprintf(stderr, "scenario matrix is missing '%s'\n", name.c_str());
+    std::exit(1);
+  }
+  return *std::move(scenario);
 }
 
 inline void print_header(const char* figure, const char* caption) {

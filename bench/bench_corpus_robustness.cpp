@@ -2,9 +2,12 @@
 // (clip2 crawls of different sizes/degrees). This bench sweeps a
 // generated corpus of snapshots and verifies the headline comparison —
 // ContinuStreaming above the CoolStreaming baseline — holds across
-// trace shapes, not just one lucky topology.
+// trace shapes, not just one lucky topology. All (snapshot x system)
+// pairs run as one ExperimentRunner batch.
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "trace/generator.hpp"
@@ -17,8 +20,23 @@ int main() {
   bench::print_header("Corpus robustness",
                       "headline comparison across generated trace snapshots");
 
-  const auto corpus = trace::generate_corpus(/*count=*/8, /*min_nodes=*/200,
-                                             /*max_nodes=*/1200, /*seed=*/2026);
+  auto corpus = trace::generate_corpus(/*count=*/8, /*min_nodes=*/200,
+                                       /*max_nodes=*/1200, /*seed=*/2026);
+
+  std::vector<std::shared_ptr<const trace::TraceSnapshot>> snapshots;
+  snapshots.reserve(corpus.size());
+  for (auto& snapshot : corpus) {
+    snapshots.push_back(std::make_shared<const trace::TraceSnapshot>(std::move(snapshot)));
+  }
+
+  std::vector<runner::ReplicationSpec> specs;
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    const auto config =
+        bench::standard_config(snapshots[i]->node_count(), 90 + i, /*churn=*/false);
+    specs.push_back(bench::snapshot_spec(config, snapshots[i], "continu"));
+    specs.push_back(bench::snapshot_spec(config.as_coolstreaming(), snapshots[i], "cool"));
+  }
+  const auto results = bench::run_batch(specs);
 
   util::Table table({"nodes", "avg crawl degree", "CoolStreaming", "ContinuStreaming",
                      "delta"});
@@ -26,12 +44,10 @@ int main() {
                       {"nodes", "degree", "coolstreaming", "continustreaming"});
 
   std::size_t wins = 0;
-  for (std::size_t i = 0; i < corpus.size(); ++i) {
-    const auto& snapshot = corpus[i];
-    const auto config =
-        bench::standard_config(snapshot.node_count(), 90 + i, /*churn=*/false);
-    const auto cont = bench::run_summary(config, snapshot);
-    const auto cool = bench::run_summary(config.as_coolstreaming(), snapshot);
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    const auto& snapshot = *snapshots[i];
+    const auto& cont = results[2 * i];
+    const auto& cool = results[2 * i + 1];
     if (cont.stable_continuity > cool.stable_continuity) ++wins;
     table.add_row({std::to_string(snapshot.node_count()),
                    util::Table::num(snapshot.average_degree(), 2),
@@ -42,11 +58,10 @@ int main() {
                  util::Table::num(snapshot.average_degree(), 3),
                  util::Table::num(cool.stable_continuity, 4),
                  util::Table::num(cont.stable_continuity, 4)});
-    std::printf("  snapshot %zu/%zu done\n", i + 1, corpus.size());
   }
 
   std::printf("%s", table.render().c_str());
-  std::printf("\nContinuStreaming won %zu of %zu snapshots.\n", wins, corpus.size());
+  std::printf("\nContinuStreaming won %zu of %zu snapshots.\n", wins, snapshots.size());
   std::printf("Paper context: results were consistent across its 30 crawled\n"
               "topologies; the comparison should not hinge on one trace.\n"
               "CSV: corpus_robustness.csv\n");

@@ -4,6 +4,8 @@
 // missing under churn so the on-demand retrieval works harder).
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "util/csv.hpp"
@@ -14,20 +16,29 @@ int main() {
 
   bench::print_header("Figure 11", "pre-fetch overhead vs overlay size");
 
+  const std::vector<std::size_t> sizes = {100, 500, 1000, 2000, 4000, 8000};
+  std::vector<runner::ReplicationSpec> specs;
+  for (const std::size_t n : sizes) {
+    const auto snapshot = std::make_shared<const continu::trace::TraceSnapshot>(
+        bench::standard_trace(n, 600 + n));
+    specs.push_back(
+        bench::snapshot_spec(bench::standard_config(n, 23, false), snapshot, "static"));
+    specs.push_back(
+        bench::snapshot_spec(bench::standard_config(n, 23, true), snapshot, "dynamic"));
+  }
+  const auto results = bench::run_batch(specs);
+
   util::Table table({"nodes", "static", "dynamic"});
   util::CsvWriter csv("fig11_prefetch_scale.csv", {"nodes", "static", "dynamic"});
 
-  for (const std::size_t n : {100u, 500u, 1000u, 2000u, 4000u, 8000u}) {
-    const auto snapshot = bench::standard_trace(n, 600 + n);
-    const auto static_run =
-        bench::run_summary(bench::standard_config(n, 23, false), snapshot);
-    const auto dynamic_run =
-        bench::run_summary(bench::standard_config(n, 23, true), snapshot);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::size_t n = sizes[i];
+    const auto& static_run = results[2 * i];
+    const auto& dynamic_run = results[2 * i + 1];
     table.add_row({std::to_string(n), util::Table::num(static_run.prefetch_overhead, 4),
                    util::Table::num(dynamic_run.prefetch_overhead, 4)});
     csv.add_row({std::to_string(n), util::Table::num(static_run.prefetch_overhead, 5),
                  util::Table::num(dynamic_run.prefetch_overhead, 5)});
-    std::printf("  n=%zu done\n", n);
   }
 
   std::printf("%s", table.render().c_str());

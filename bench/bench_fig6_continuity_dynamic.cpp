@@ -16,19 +16,18 @@ int main() {
   bench::print_header("Figure 6",
                       "playback continuity track, dynamic environment, 1000 nodes");
 
-  const auto snapshot = bench::standard_trace(1000, 56);
-  const auto config = bench::standard_config(1000, 9, /*churn=*/true);
-
-  core::Session continu_session(config, snapshot);
-  continu_session.run(45.0);
-  core::Session cool_session(config.as_coolstreaming(), snapshot);
-  cool_session.run(45.0);
+  const auto continu_scn = bench::require_scenario("dynamic_1k");
+  const auto cool_scn = bench::require_scenario("cool_dynamic_1k");
+  const auto results = bench::run_batch({runner::spec_for(continu_scn, 9),
+                                         runner::spec_for(cool_scn, 9)});
+  const auto& continu_run = results[0];
+  const auto& cool_run = results[1];
 
   util::Table table({"time (s)", "CoolStreaming", "ContinuStreaming"});
   util::CsvWriter csv("fig6_continuity_dynamic.csv",
                       {"time", "coolstreaming", "continustreaming"});
-  const auto& cool = cool_session.continuity().rounds();
-  const auto& cont = continu_session.continuity().rounds();
+  const auto& cool = cool_run.continuity.rounds();
+  const auto& cont = continu_run.continuity.rounds();
   for (std::size_t i = 0; i < cool.size() && i < cont.size(); ++i) {
     table.add_row({util::Table::num(cool[i].time, 0), util::Table::num(cool[i].ratio(), 3),
                    util::Table::num(cont[i].ratio(), 3)});
@@ -37,8 +36,8 @@ int main() {
   }
   std::printf("%s", table.render().c_str());
 
-  const double cool_stable = cool_session.continuity().stable_mean(20.0);
-  const double cont_stable = continu_session.continuity().stable_mean(20.0);
+  const double cool_stable = cool_run.stable_continuity;
+  const double cont_stable = continu_run.stable_continuity;
   std::printf("\nStable phase (t >= 20 s): CoolStreaming %.3f, ContinuStreaming %.3f, "
               "delta %.3f\n", cool_stable, cont_stable, cont_stable - cool_stable);
   std::printf("Paper expectation: ~0.78 vs ~0.95; the dynamic delta exceeds the\n"

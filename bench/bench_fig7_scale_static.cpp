@@ -5,6 +5,8 @@
 // more from ContinuStreaming.
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "util/csv.hpp"
@@ -16,15 +18,28 @@ int main() {
   bench::print_header("Figure 7",
                       "stable continuity vs overlay size, static environment");
 
+  // Build the whole sweep up front — (6 sizes x 2 systems) — and let the
+  // runner shard it across cores. Each size's snapshot is built once and
+  // shared by the continu/cool pair.
+  const std::vector<std::size_t> sizes = {100, 500, 1000, 2000, 4000, 8000};
+  std::vector<runner::ReplicationSpec> specs;
+  for (const std::size_t n : sizes) {
+    const auto config = bench::standard_config(n, 11, /*churn=*/false);
+    const auto snapshot = std::make_shared<const continu::trace::TraceSnapshot>(
+        bench::standard_trace(n, 300 + n));
+    specs.push_back(bench::snapshot_spec(config, snapshot, "continu"));
+    specs.push_back(bench::snapshot_spec(config.as_coolstreaming(), snapshot, "cool"));
+  }
+  const auto results = bench::run_batch(specs);
+
   util::Table table({"nodes", "CoolStreaming", "ContinuStreaming", "delta"});
   util::CsvWriter csv("fig7_scale_static.csv",
                       {"nodes", "coolstreaming", "continustreaming", "delta"});
 
-  for (const std::size_t n : {100u, 500u, 1000u, 2000u, 4000u, 8000u}) {
-    const auto snapshot = bench::standard_trace(n, 300 + n);
-    const auto config = bench::standard_config(n, 11, /*churn=*/false);
-    const auto cont = bench::run_summary(config, snapshot);
-    const auto cool = bench::run_summary(config.as_coolstreaming(), snapshot);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::size_t n = sizes[i];
+    const auto& cont = results[2 * i];
+    const auto& cool = results[2 * i + 1];
     const double delta = cont.stable_continuity - cool.stable_continuity;
     table.add_row({std::to_string(n), util::Table::num(cool.stable_continuity, 3),
                    util::Table::num(cont.stable_continuity, 3),
@@ -32,7 +47,6 @@ int main() {
     csv.add_row({std::to_string(n), util::Table::num(cool.stable_continuity, 4),
                  util::Table::num(cont.stable_continuity, 4),
                  util::Table::num(delta, 4)});
-    std::printf("  n=%zu done\n", n);
   }
 
   std::printf("%s", table.render().c_str());

@@ -3,6 +3,8 @@
 // dynamic twin of Figure 7.
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "util/csv.hpp"
@@ -14,15 +16,25 @@ int main() {
   bench::print_header("Figure 8",
                       "stable continuity vs overlay size, dynamic environment");
 
+  const std::vector<std::size_t> sizes = {100, 500, 1000, 2000, 4000, 8000};
+  std::vector<runner::ReplicationSpec> specs;
+  for (const std::size_t n : sizes) {
+    const auto config = bench::standard_config(n, 13, /*churn=*/true);
+    const auto snapshot = std::make_shared<const continu::trace::TraceSnapshot>(
+        bench::standard_trace(n, 400 + n));
+    specs.push_back(bench::snapshot_spec(config, snapshot, "continu"));
+    specs.push_back(bench::snapshot_spec(config.as_coolstreaming(), snapshot, "cool"));
+  }
+  const auto results = bench::run_batch(specs);
+
   util::Table table({"nodes", "CoolStreaming", "ContinuStreaming", "delta"});
   util::CsvWriter csv("fig8_scale_dynamic.csv",
                       {"nodes", "coolstreaming", "continustreaming", "delta"});
 
-  for (const std::size_t n : {100u, 500u, 1000u, 2000u, 4000u, 8000u}) {
-    const auto snapshot = bench::standard_trace(n, 400 + n);
-    const auto config = bench::standard_config(n, 13, /*churn=*/true);
-    const auto cont = bench::run_summary(config, snapshot);
-    const auto cool = bench::run_summary(config.as_coolstreaming(), snapshot);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::size_t n = sizes[i];
+    const auto& cont = results[2 * i];
+    const auto& cool = results[2 * i + 1];
     const double delta = cont.stable_continuity - cool.stable_continuity;
     table.add_row({std::to_string(n), util::Table::num(cool.stable_continuity, 3),
                    util::Table::num(cont.stable_continuity, 3),
@@ -30,7 +42,6 @@ int main() {
     csv.add_row({std::to_string(n), util::Table::num(cool.stable_continuity, 4),
                  util::Table::num(cont.stable_continuity, 4),
                  util::Table::num(delta, 4)});
-    std::printf("  n=%zu done\n", n);
   }
 
   std::printf("%s", table.render().c_str());

@@ -5,6 +5,7 @@
 // below 1.0.
 
 #include <cstdio>
+#include <vector>
 
 #include "analysis/coverage.hpp"
 #include "bench_common.hpp"
@@ -16,19 +17,30 @@ int main() {
 
   bench::print_header("Figure 9", "control overhead vs overlay size, M in {4, 5, 6}");
 
+  const std::vector<std::size_t> sizes = {100, 500, 1000, 2000, 4000};
+  const std::vector<std::size_t> fanouts = {4, 5, 6};
+
+  std::vector<runner::ReplicationSpec> specs;
+  for (const std::size_t n : sizes) {
+    for (const std::size_t m : fanouts) {
+      auto config = bench::standard_config(n, 17, /*churn=*/false);
+      config.connected_neighbors = m;
+      specs.push_back(bench::standard_spec(config, n, 500 + n + m));
+    }
+  }
+  const auto results = bench::run_batch(specs);
+
   util::Table table({"nodes", "M=4", "M=5", "M=6", "model M=4", "model M=5", "model M=6"});
   util::CsvWriter csv("fig9_control_overhead.csv", {"nodes", "m", "overhead", "model"});
 
-  for (const std::size_t n : {100u, 500u, 1000u, 2000u, 4000u}) {
+  std::size_t next = 0;
+  for (const std::size_t n : sizes) {
     std::vector<std::string> row{std::to_string(n)};
     std::vector<std::string> models;
-    for (const std::size_t m : {4u, 5u, 6u}) {
-      const auto snapshot = bench::standard_trace(n, 500 + n + m);
-      auto config = bench::standard_config(n, 17, /*churn=*/false);
-      config.connected_neighbors = m;
-      const auto run = bench::run_summary(config, snapshot);
-      const double model = analysis::control_overhead_model(static_cast<unsigned>(m),
-                                                            config.playback_rate);
+    for (const std::size_t m : fanouts) {
+      const double model = analysis::control_overhead_model(
+          static_cast<unsigned>(m), specs[next].config.playback_rate);
+      const auto& run = results[next++];
       row.push_back(util::Table::num(run.control_overhead, 5));
       models.push_back(util::Table::num(model, 5));
       csv.add_row({std::to_string(n), std::to_string(m),
@@ -37,7 +49,6 @@ int main() {
     }
     for (auto& m : models) row.push_back(std::move(m));
     table.add_row(std::move(row));
-    std::printf("  n=%zu done\n", n);
   }
 
   std::printf("%s", table.render().c_str());

@@ -1,0 +1,93 @@
+// ExperimentRunner scaling micro-bench: replications/second at jobs =
+// 1, 2, 4, 8 over a fixed batch of small sessions, emitted as JSON so
+// future PRs can track parallel speedup across commits.
+//
+//   {"bench": "runner_scaling", "replications": 16, "nodes": 150,
+//    "points": [{"jobs": 1, "seconds": 3.21, "reps_per_sec": 4.98,
+//                "speedup": 1.0}, ...]}
+//
+// The batch is identical at every jobs count (same specs, same seeds),
+// so the run also cross-checks jobs-invariance of the results: any
+// continuity mismatch across jobs counts fails the bench.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+constexpr std::size_t kNodes = 150;
+constexpr std::size_t kReplications = 16;
+
+[[nodiscard]] std::vector<continu::runner::ReplicationSpec> fixed_batch() {
+  using namespace continu;
+  runner::ReplicationSpec base;
+  base.label = "scaling";
+  base.config = bench::standard_config(kNodes, 4242, /*churn=*/false);
+  base.trace = bench::standard_trace_config(kNodes, 77);
+  base.duration = 30.0;
+  base.stable_from = 15.0;
+  return runner::replicate(base, kReplications);
+}
+
+}  // namespace
+
+int main() {
+  using namespace continu;
+  using Clock = std::chrono::steady_clock;
+
+  const auto specs = fixed_batch();
+
+  struct Point {
+    unsigned jobs = 0;
+    double seconds = 0.0;
+    double reps_per_sec = 0.0;
+  };
+  std::vector<Point> points;
+  std::vector<double> reference;  // continuity per replication at jobs=1
+
+  for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
+    const runner::ExperimentRunner pool(jobs);
+    const auto start = Clock::now();
+    const auto results = pool.run_all(specs);
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    std::vector<double> continuities;
+    continuities.reserve(results.size());
+    for (const auto& r : results) continuities.push_back(r.stable_continuity);
+    if (reference.empty()) {
+      reference = continuities;
+    } else if (continuities != reference) {
+      std::fprintf(stderr,
+                   "FAIL: results at jobs=%u differ from jobs=1 — runner is "
+                   "not jobs-invariant\n",
+                   jobs);
+      return 1;
+    }
+
+    Point p;
+    p.jobs = jobs;
+    p.seconds = seconds;
+    p.reps_per_sec = static_cast<double>(specs.size()) / seconds;
+    points.push_back(p);
+    std::fprintf(stderr, "  jobs=%u: %.2fs (%.2f reps/s)\n", jobs, seconds,
+                 p.reps_per_sec);
+  }
+
+  std::printf("{\"bench\": \"runner_scaling\", \"replications\": %zu, "
+              "\"nodes\": %zu, \"points\": [",
+              kReplications, kNodes);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    std::printf("%s{\"jobs\": %u, \"seconds\": %.3f, \"reps_per_sec\": %.3f, "
+                "\"speedup\": %.3f}",
+                i == 0 ? "" : ", ", p.jobs, p.seconds, p.reps_per_sec,
+                points[0].seconds / p.seconds);
+  }
+  std::printf("]}\n");
+  return 0;
+}

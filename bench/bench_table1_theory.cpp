@@ -4,6 +4,9 @@
 // churn — the exact grid of the paper's comparison table.
 
 #include <cstdio>
+#include <iterator>
+#include <memory>
+#include <vector>
 
 #include "analysis/continuity_model.hpp"
 #include "bench_common.hpp"
@@ -44,21 +47,28 @@ int main() {
   }
 
   // Simulation rows: PC_new from ContinuStreaming, PC_old from the
-  // CoolStreaming baseline on the identical substrate.
-  const auto snapshot = bench::standard_trace(1000, 101);
+  // CoolStreaming baseline on the identical substrate. All 8 sessions
+  // run as one parallel batch.
+  const auto snapshot = std::make_shared<const continu::trace::TraceSnapshot>(
+      bench::standard_trace(1000, 101));
   const SimRow rows[] = {
       {"Homogeneous and static environment", false, false},
       {"Homogeneous and dynamic environment", false, true},
       {"Heterogeneous and static environment", true, false},
       {"Heterogeneous and dynamic environment", true, true},
   };
+  std::vector<runner::ReplicationSpec> specs;
   for (const auto& row : rows) {
     auto config = bench::standard_config(1000, 77, row.churn);
     config.heterogeneous_bandwidth = row.heterogeneous;
-    const auto continu_run = bench::run_summary(config, snapshot);
-    const auto cool_run = bench::run_summary(config.as_coolstreaming(), snapshot);
-    const double pc_new = continu_run.stable_continuity;
-    const double pc_old = cool_run.stable_continuity;
+    specs.push_back(bench::snapshot_spec(config, snapshot, "continu"));
+    specs.push_back(bench::snapshot_spec(config.as_coolstreaming(), snapshot, "cool"));
+  }
+  const auto results = bench::run_batch(specs);
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    const auto& row = rows[i];
+    const double pc_new = results[2 * i].stable_continuity;
+    const double pc_old = results[2 * i + 1].stable_continuity;
     table.add_row({row.label, util::Table::num(pc_old, 4), util::Table::num(pc_new, 4),
                    util::Table::num(pc_new - pc_old, 4)});
     csv.add_row({row.label, util::Table::num(pc_old, 4), util::Table::num(pc_new, 4),

@@ -2,23 +2,15 @@
 // increasingly harsh churn — the paper's core claim is that DHT-assisted
 // pre-fetch matters MORE in dynamic environments. Sweeps the per-round
 // churn rate and prints both systems' stable continuity side by side.
+// The whole (churn x system) grid runs as one ExperimentRunner batch.
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "core/config.hpp"
-#include "core/session.hpp"
+#include "runner/experiment_runner.hpp"
 #include "trace/generator.hpp"
-
-namespace {
-
-double run_stable(const continu::core::SystemConfig& config,
-                  const continu::trace::TraceSnapshot& snapshot) {
-  continu::core::Session session(config, snapshot);
-  session.run(45.0);
-  return session.continuity().stable_mean(20.0);
-}
-
-}  // namespace
 
 int main() {
   using namespace continu;
@@ -26,13 +18,12 @@ int main() {
   trace::GeneratorConfig trace_config;
   trace_config.node_count = 300;
   trace_config.seed = 17;
-  const auto snapshot = trace::generate_snapshot(trace_config);
+  const auto snapshot = std::make_shared<const trace::TraceSnapshot>(
+      trace::generate_snapshot(trace_config));
 
-  std::printf("Churn resilience sweep (300 nodes, 45 s, stable window 20-45 s)\n\n");
-  std::printf("%12s %16s %18s %10s\n", "churn/round", "CoolStreaming",
-              "ContinuStreaming", "delta");
-
-  for (const double churn : {0.0, 0.02, 0.05, 0.10}) {
+  const std::vector<double> churn_rates = {0.0, 0.02, 0.05, 0.10};
+  std::vector<runner::ReplicationSpec> specs;
+  for (const double churn : churn_rates) {
     core::SystemConfig config;
     config.seed = 3;
     config.expected_nodes = 300.0;
@@ -40,10 +31,26 @@ int main() {
     config.churn.leave_fraction = churn;
     config.churn.join_fraction = churn;
 
-    const double cool = run_stable(config.as_coolstreaming(), snapshot);
-    const double cont = run_stable(config, snapshot);
-    std::printf("%11.0f%% %16.3f %18.3f %10.3f\n", churn * 100.0, cool, cont,
-                cont - cool);
+    runner::ReplicationSpec spec;
+    spec.snapshot = snapshot;
+    spec.config = config.as_coolstreaming();
+    specs.push_back(spec);
+    spec.config = config;
+    specs.push_back(spec);
+  }
+
+  const runner::ExperimentRunner pool;  // all hardware threads
+  const auto results = pool.run_all(specs);
+
+  std::printf("Churn resilience sweep (300 nodes, 45 s, stable window 20-45 s)\n\n");
+  std::printf("%12s %16s %18s %10s\n", "churn/round", "CoolStreaming",
+              "ContinuStreaming", "delta");
+
+  for (std::size_t i = 0; i < churn_rates.size(); ++i) {
+    const double cool = results[2 * i].stable_continuity;
+    const double cont = results[2 * i + 1].stable_continuity;
+    std::printf("%11.0f%% %16.3f %18.3f %10.3f\n", churn_rates[i] * 100.0, cool,
+                cont, cont - cool);
   }
 
   std::printf("\nExpectation (paper Figs. 6/8): the delta grows with churn — the\n"

@@ -1,53 +1,49 @@
-// Quickstart: build a small ContinuStreaming session on a synthetic
-// clip2-style trace, stream for 40 virtual seconds, and print the
-// headline metrics. This is the smallest end-to-end use of the public
-// API: trace generation -> configuration -> session -> results.
+// Quickstart: run the shared "static_small" scenario through the
+// ExperimentRunner and print the headline metrics. This is the smallest
+// end-to-end use of the public API: named scenario -> spec -> runner ->
+// results. (For raw Session-level control see examples/dht_explorer.cpp.)
 
 #include <cstdio>
 
-#include "core/config.hpp"
-#include "core/session.hpp"
-#include "net/message.hpp"
-#include "trace/generator.hpp"
+#include "runner/experiment_runner.hpp"
+#include "runner/scenario.hpp"
 
 int main() {
   using namespace continu;
 
-  // 1. A 200-host overlay snapshot in the style of the clip2 crawls.
-  trace::GeneratorConfig trace_config;
-  trace_config.node_count = 200;
-  trace_config.seed = 42;
-  const auto snapshot = trace::generate_snapshot(trace_config);
+  // 1. The shared scenario matrix names the standard workloads; pick the
+  //    200-node static one every bench/test also knows by name.
+  const auto scenario = runner::find_scenario("static_small");
+  if (!scenario.has_value()) {
+    std::fprintf(stderr, "scenario matrix is missing static_small\n");
+    return 1;
+  }
 
-  // 2. The paper's standard system parameters (300 Kbps stream split
-  //    into 10 segments/s, B = 600-segment buffers, M = 5 partners,
-  //    k = 4 DHT backups, l = 5 pre-fetches per round).
-  core::SystemConfig config;
-  config.seed = 7;
-  config.expected_nodes = 200.0;
+  // 2. One replication at seed 7. (spec_for fills in the paper's
+  //    standard system parameters: 300 Kbps stream split into 10
+  //    segments/s, B = 600-segment buffers, M = 5 partners, k = 4 DHT
+  //    backups, l = 5 pre-fetches per round.)
+  const auto result = runner::ExperimentRunner::run_one(runner::spec_for(*scenario, 7));
 
-  // 3. Run 40 seconds of virtual time.
-  core::Session session(config, snapshot);
-  session.run(40.0);
-
-  // 4. Results.
-  std::printf("ContinuStreaming quickstart (200 nodes, 40 s)\n");
-  std::printf("  segments emitted        : %lld\n",
-              static_cast<long long>(session.emitted()));
+  // 3. Results.
+  std::printf("ContinuStreaming quickstart (%s: %zu nodes, %.0f s)\n",
+              scenario->name.c_str(), scenario->node_count, scenario->duration);
+  std::printf("  segments emitted        : %llu\n",
+              static_cast<unsigned long long>(result.stats.segments_emitted));
   std::printf("  segments delivered      : %llu\n",
-              static_cast<unsigned long long>(session.stats().segments_delivered));
+              static_cast<unsigned long long>(result.stats.segments_delivered));
   std::printf("  stable continuity       : %.3f   (paper target: close to 1.0)\n",
-              session.continuity().stable_mean(20.0));
+              result.stable_continuity);
   std::printf("  control overhead        : %.4f   (paper model: M/495 = %.4f)\n",
-              session.traffic().control_overhead(), 5.0 / 495.0);
+              result.control_overhead, 5.0 / 495.0);
   std::printf("  pre-fetch overhead      : %.4f   (paper: < 0.04)\n",
-              session.traffic().prefetch_overhead());
+              result.prefetch_overhead);
   std::printf("  pre-fetches launched/ok : %llu / %llu\n",
-              static_cast<unsigned long long>(session.stats().prefetch_launched),
-              static_cast<unsigned long long>(session.stats().prefetch_succeeded));
+              static_cast<unsigned long long>(result.stats.prefetch_launched),
+              static_cast<unsigned long long>(result.stats.prefetch_succeeded));
 
   std::printf("\nContinuity track (every 5 s):\n");
-  for (const auto& round : session.continuity().rounds()) {
+  for (const auto& round : result.continuity.rounds()) {
     const auto t = static_cast<long long>(round.time);
     if (t % 5 == 0) {
       std::printf("  t=%2llds  continuity=%.3f\n", t, round.ratio());

@@ -59,7 +59,7 @@ std::optional<InflightTransfer> Node::end_transfer(SegmentId id) {
   return record;
 }
 
-bool Node::transfer_pending(SegmentId id) const { return inflight_.contains(id); }
+bool Node::transfer_pending(SegmentId id) const { return inflight_.count(id) != 0; }
 
 bool Node::begin_prefetch(SegmentId id, SimTime now) {
   return prefetch_pending_.try_emplace(id, now).second;
@@ -68,7 +68,7 @@ bool Node::begin_prefetch(SegmentId id, SimTime now) {
 void Node::end_prefetch(SegmentId id) { prefetch_pending_.erase(id); }
 
 bool Node::prefetch_pending(SegmentId id) const {
-  return prefetch_pending_.contains(id);
+  return prefetch_pending_.count(id) != 0;
 }
 
 std::vector<SegmentId> Node::expire_prefetches(SimTime cutoff) {
@@ -88,8 +88,13 @@ bool Node::prefetch_tagged(SegmentId id) const {
 void Node::tag_prefetched(SegmentId id) { prefetch_tags_[id] = true; }
 
 void Node::expire_tags(SegmentId horizon) {
-  std::erase_if(prefetch_tags_,
-                [horizon](const auto& kv) { return kv.first < horizon; });
+  for (auto it = prefetch_tags_.begin(); it != prefetch_tags_.end();) {
+    if (it->first < horizon) {
+      it = prefetch_tags_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 std::vector<SegmentId> Node::drop_transfers_from(NodeId supplier) {

@@ -11,6 +11,35 @@
 
 namespace continu::core {
 
+SessionStats& operator+=(SessionStats& lhs, const SessionStats& rhs) noexcept {
+  lhs.segments_emitted += rhs.segments_emitted;
+  lhs.segments_delivered += rhs.segments_delivered;
+  lhs.duplicate_deliveries += rhs.duplicate_deliveries;
+  lhs.requests_sent += rhs.requests_sent;
+  lhs.segments_booked += rhs.segments_booked;
+  lhs.segments_refused += rhs.segments_refused;
+  lhs.candidates_seen += rhs.candidates_seen;
+  lhs.candidates_unassigned += rhs.candidates_unassigned;
+  lhs.prefetch_launched += rhs.prefetch_launched;
+  lhs.prefetch_succeeded += rhs.prefetch_succeeded;
+  lhs.prefetch_no_replica += rhs.prefetch_no_replica;
+  lhs.prefetch_suppressed += rhs.prefetch_suppressed;
+  lhs.segments_pushed += rhs.segments_pushed;
+  lhs.dht_route_messages += rhs.dht_route_messages;
+  lhs.dht_route_failures += rhs.dht_route_failures;
+  lhs.joins += rhs.joins;
+  lhs.graceful_leaves += rhs.graceful_leaves;
+  lhs.abrupt_leaves += rhs.abrupt_leaves;
+  lhs.neighbor_replacements += rhs.neighbor_replacements;
+  lhs.transfer_timeouts += rhs.transfer_timeouts;
+  return lhs;
+}
+
+SessionStats operator+(SessionStats lhs, const SessionStats& rhs) noexcept {
+  lhs += rhs;
+  return lhs;
+}
+
 namespace {
 
 using net::MessageType;
@@ -189,7 +218,7 @@ void Session::populate_initial_dht() {
     for (unsigned level = 1; level <= space_.levels(); ++level) {
       const auto [lo, hi] = space_.level_arc(node->id(), level);
       members_in_arc(lo, hi, arc);
-      std::erase(arc, node->id());
+      arc.erase(std::remove(arc.begin(), arc.end(), node->id()), arc.end());
       if (arc.empty()) continue;
       const NodeId pick = arc[rng_.next_below(arc.size())];
       const auto pick_index = index_of_.at(pick);

@@ -58,6 +58,10 @@ struct SessionStats {
   std::uint64_t transfer_timeouts = 0;
 };
 
+/// Element-wise sum — merging counters across experiment replications.
+SessionStats& operator+=(SessionStats& lhs, const SessionStats& rhs) noexcept;
+[[nodiscard]] SessionStats operator+(SessionStats lhs, const SessionStats& rhs) noexcept;
+
 class Session {
  public:
   Session(const SystemConfig& config, const trace::TraceSnapshot& snapshot);

@@ -29,7 +29,7 @@ bool BackupStore::offer(SegmentId id, NodeId arc_end) {
 
 void BackupStore::store(SegmentId id) { segments_.insert(id); }
 
-bool BackupStore::has(SegmentId id) const noexcept { return segments_.contains(id); }
+bool BackupStore::has(SegmentId id) const noexcept { return segments_.count(id) != 0; }
 
 std::size_t BackupStore::expire_before(SegmentId horizon) {
   auto it = segments_.lower_bound(horizon);

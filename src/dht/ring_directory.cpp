@@ -17,7 +17,7 @@ void RingDirectory::insert(NodeId id) {
 
 void RingDirectory::erase(NodeId id) { members_.erase(id); }
 
-bool RingDirectory::contains(NodeId id) const { return members_.contains(id); }
+bool RingDirectory::contains(NodeId id) const { return members_.count(id) != 0; }
 
 std::optional<NodeId> RingDirectory::owner_of(NodeId target) const {
   if (members_.empty()) return std::nullopt;
@@ -33,7 +33,7 @@ std::optional<NodeId> RingDirectory::owner_of(NodeId target) const {
 
 std::optional<NodeId> RingDirectory::successor_of(NodeId id) const {
   if (members_.empty()) return std::nullopt;
-  if (members_.size() == 1 && members_.contains(id)) return std::nullopt;
+  if (members_.size() == 1 && members_.count(id) != 0) return std::nullopt;
   auto it = members_.upper_bound(id);
   if (it == members_.end()) it = members_.begin();
   if (*it == id) return std::nullopt;
@@ -42,7 +42,7 @@ std::optional<NodeId> RingDirectory::successor_of(NodeId id) const {
 
 std::optional<NodeId> RingDirectory::predecessor_of(NodeId id) const {
   if (members_.empty()) return std::nullopt;
-  if (members_.size() == 1 && members_.contains(id)) return std::nullopt;
+  if (members_.size() == 1 && members_.count(id) != 0) return std::nullopt;
   auto it = members_.lower_bound(id);
   if (it == members_.begin()) {
     const NodeId last = *members_.rbegin();

@@ -59,7 +59,8 @@ RoutingExperiment::RoutingExperiment(const IdSpace& space, std::size_t node_coun
       const auto [lo, hi] = space_->level_arc(id, level);
       auto candidates = members_in_arc(lo, hi);
       // The owner cannot be its own peer (matters only for tiny rings).
-      std::erase(candidates, id);
+      candidates.erase(std::remove(candidates.begin(), candidates.end(), id),
+                       candidates.end());
       if (candidates.empty()) continue;
       const NodeId pick = candidates[rng.next_below(candidates.size())];
       table.offer(pick, /*latency_ms=*/1.0, /*now=*/0.0);

@@ -12,7 +12,7 @@ void SeriesCollector::record(const std::string& series, SimTime time, double val
 }
 
 bool SeriesCollector::has(const std::string& series) const {
-  return data_.contains(series);
+  return data_.count(series) != 0;
 }
 
 const std::vector<Sample>& SeriesCollector::series(const std::string& name) const {

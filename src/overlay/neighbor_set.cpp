@@ -31,7 +31,9 @@ bool NeighborSet::add(NodeId id, double latency_ms, SimTime now) {
 
 bool NeighborSet::remove(NodeId id) {
   const auto before = neighbors_.size();
-  std::erase_if(neighbors_, [id](const Neighbor& n) { return n.id == id; });
+  neighbors_.erase(std::remove_if(neighbors_.begin(), neighbors_.end(),
+                                  [id](const Neighbor& n) { return n.id == id; }),
+                   neighbors_.end());
   return neighbors_.size() != before;
 }
 

@@ -24,7 +24,9 @@ void OverheardList::hear(NodeId id, double latency_ms, SimTime now) {
 }
 
 void OverheardList::forget(NodeId id) {
-  std::erase_if(entries_, [id](const OverheardNode& e) { return e.id == id; });
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [id](const OverheardNode& e) { return e.id == id; }),
+                 entries_.end());
 }
 
 std::optional<OverheardNode> OverheardList::best_candidate(

@@ -1,0 +1,129 @@
+#include "runner/experiment_runner.hpp"
+
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "util/hash.hpp"
+
+namespace continu::runner {
+
+std::uint64_t replication_seed(std::uint64_t base, std::size_t index) {
+  // Two mix rounds decorrelate (base, index) pairs; +1 keeps index 0 from
+  // collapsing to mix64(mix64(base)) == replication 0 of a shifted base.
+  return util::mix64(util::mix64(base) ^ (static_cast<std::uint64_t>(index) + 1));
+}
+
+std::vector<ReplicationSpec> replicate(const ReplicationSpec& base, std::size_t count) {
+  std::vector<ReplicationSpec> specs;
+  specs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ReplicationSpec spec = base;
+    spec.config.seed = replication_seed(base.config.seed, i);
+    spec.label = base.label.empty() ? ("#" + std::to_string(i))
+                                    : (base.label + " #" + std::to_string(i));
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+ReplicationSpec spec_for(const Scenario& scenario, std::uint64_t seed) {
+  ReplicationSpec spec;
+  spec.label = scenario.name;
+  spec.config = scenario.make_config(seed);
+  spec.trace = scenario.make_trace();
+  spec.duration = scenario.duration;
+  spec.stable_from = scenario.stable_from;
+  return spec;
+}
+
+ExperimentRunner::ExperimentRunner(unsigned jobs) : jobs_(jobs) {
+  if (jobs_ == 0) {
+    jobs_ = std::thread::hardware_concurrency();
+    if (jobs_ == 0) jobs_ = 1;
+  }
+}
+
+ReplicationResult ExperimentRunner::run_one(const ReplicationSpec& spec) {
+  const trace::TraceSnapshot generated =
+      spec.snapshot ? trace::TraceSnapshot{} : trace::generate_snapshot(spec.trace);
+  const trace::TraceSnapshot& snapshot = spec.snapshot ? *spec.snapshot : generated;
+  core::Session session(spec.config, snapshot);
+  session.run(spec.duration);
+
+  ReplicationResult out;
+  out.label = spec.label;
+  out.seed = spec.config.seed;
+  out.stable_continuity = session.continuity().stable_mean(spec.stable_from);
+  out.stabilization_time =
+      session.continuity().stabilization_time(0.9 * out.stable_continuity);
+  out.continuity_index =
+      session.collector().has("continuity_index")
+          ? session.collector().mean_from("continuity_index", spec.stable_from)
+          : 0.0;
+  out.control_overhead = session.traffic().control_overhead();
+  out.prefetch_overhead = session.traffic().prefetch_overhead();
+  out.alive_at_end = session.alive_count();
+  out.stats = session.stats();
+  out.continuity = session.continuity();
+  out.collector = session.collector();
+  return out;
+}
+
+std::vector<ReplicationResult> ExperimentRunner::run_all(
+    const std::vector<ReplicationSpec>& specs) const {
+  std::vector<ReplicationResult> results(specs.size());
+  if (specs.empty()) return results;
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(jobs_, specs.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i) results[i] = run_one(specs[i]);
+    return results;
+  }
+
+  // Static strided shard: worker w owns indices w, w+J, w+2J, ... Each
+  // slot is written by exactly one worker, so no synchronization is
+  // needed beyond the joins.
+  std::vector<std::exception_ptr> errors(workers);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&specs, &results, &errors, w, workers] {
+      try {
+        for (std::size_t i = w; i < specs.size(); i += workers) {
+          results[i] = run_one(specs[i]);
+        }
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
+}
+
+ExperimentResult ExperimentRunner::run_experiment(
+    const std::vector<ReplicationSpec>& specs) const {
+  return aggregate(run_all(specs));
+}
+
+ExperimentResult ExperimentRunner::aggregate(std::vector<ReplicationResult> runs) {
+  ExperimentResult out;
+  out.replications = runs.size();
+  for (const auto& run : runs) {
+    out.continuity.add(run.stable_continuity);
+    out.continuity_index.add(run.continuity_index);
+    if (run.stabilization_time >= 0.0) out.stabilization_time.add(run.stabilization_time);
+    out.control_overhead.add(run.control_overhead);
+    out.prefetch_overhead.add(run.prefetch_overhead);
+    out.total += run.stats;
+  }
+  out.runs = std::move(runs);
+  return out;
+}
+
+}  // namespace continu::runner

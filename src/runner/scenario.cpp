@@ -1,0 +1,171 @@
+#include "runner/scenario.hpp"
+
+#include <algorithm>
+
+namespace continu::runner {
+
+core::SystemConfig Scenario::make_config(std::uint64_t seed) const {
+  core::SystemConfig config;
+  config.seed = seed;
+  config.scheduler = scheduler;
+  config.expected_nodes = static_cast<double>(node_count);
+  config.backup_replicas = backup_replicas;
+  config.prefetch_limit = prefetch_limit;
+  config.connected_neighbors = connected_neighbors;
+  config.heterogeneous_bandwidth = heterogeneous_bandwidth;
+  if (churn) {
+    config.churn_enabled = true;
+    config.churn.leave_fraction = churn_fraction;
+    config.churn.join_fraction = churn_fraction;
+    config.churn.graceful_fraction = graceful_fraction;
+  }
+  return config;
+}
+
+trace::GeneratorConfig Scenario::make_trace() const {
+  trace::GeneratorConfig tc;
+  tc.node_count = node_count;
+  tc.average_degree = average_degree;
+  tc.seed = trace_seed;
+  return tc;
+}
+
+namespace {
+
+[[nodiscard]] std::vector<Scenario> build_matrix() {
+  std::vector<Scenario> m;
+
+  auto add = [&m](Scenario s) { m.push_back(std::move(s)); };
+
+  // --- headline environments (figures 5-8) -------------------------------
+  {
+    Scenario s;
+    s.name = "static_small";
+    s.description = "200 nodes, static, ContinuStreaming (smoke-scale fig5)";
+    s.node_count = 200;
+    s.trace_seed = 21;
+    add(s);
+  }
+  {
+    Scenario s;
+    s.name = "static_1k";
+    s.description = "1000 nodes, static, ContinuStreaming (fig5 environment)";
+    s.node_count = 1000;
+    s.trace_seed = 55;
+    add(s);
+  }
+  {
+    Scenario s;
+    s.name = "dynamic_1k";
+    s.description = "1000 nodes, 5% churn per period (fig6 environment)";
+    s.node_count = 1000;
+    s.trace_seed = 56;
+    s.churn = true;
+    add(s);
+  }
+  {
+    Scenario s;
+    s.name = "static_4k";
+    s.description = "4000 nodes, static (fig7 upper range)";
+    s.node_count = 4000;
+    s.trace_seed = 4300;
+    add(s);
+  }
+  {
+    Scenario s;
+    s.name = "dynamic_abrupt";
+    s.description = "500 nodes, 5% churn, all departures abrupt (worst case)";
+    s.node_count = 500;
+    s.trace_seed = 700;
+    s.churn = true;
+    s.graceful_fraction = 0.0;
+    add(s);
+  }
+
+  // --- baselines on the same substrate ------------------------------------
+  {
+    Scenario s;
+    s.name = "cool_static_1k";
+    s.description = "1000 nodes, static, CoolStreaming baseline";
+    s.node_count = 1000;
+    s.trace_seed = 55;
+    s.scheduler = core::SchedulerKind::kCoolStreaming;
+    add(s);
+  }
+  {
+    Scenario s;
+    s.name = "cool_dynamic_1k";
+    s.description = "1000 nodes, 5% churn, CoolStreaming baseline";
+    s.node_count = 1000;
+    s.trace_seed = 56;
+    s.churn = true;
+    s.scheduler = core::SchedulerKind::kCoolStreaming;
+    add(s);
+  }
+  {
+    Scenario s;
+    s.name = "gridmedia_static_1k";
+    s.description = "1000 nodes, static, GridMedia push-pull baseline";
+    s.node_count = 1000;
+    s.trace_seed = 55;
+    s.scheduler = core::SchedulerKind::kGridMediaPushPull;
+    add(s);
+  }
+
+  // --- DHT / pre-fetch ablation points ("alpha settings") ------------------
+  {
+    Scenario s;
+    s.name = "no_prefetch";
+    s.description = "500 nodes, static, prefetch disabled (l = 0): gossip-only";
+    s.node_count = 500;
+    s.trace_seed = 700;
+    s.prefetch_limit = 0;
+    add(s);
+  }
+  {
+    Scenario s;
+    s.name = "heavy_prefetch";
+    s.description = "500 nodes, static, aggressive prefetch (l = 10, k = 6)";
+    s.node_count = 500;
+    s.trace_seed = 700;
+    s.prefetch_limit = 10;
+    s.backup_replicas = 6;
+    add(s);
+  }
+  {
+    Scenario s;
+    s.name = "thin_replicas";
+    s.description = "500 nodes, 5% churn, single backup replica (k = 1)";
+    s.node_count = 500;
+    s.trace_seed = 700;
+    s.churn = true;
+    s.backup_replicas = 1;
+    add(s);
+  }
+
+  return m;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& scenario_matrix() {
+  static const std::vector<Scenario> matrix = build_matrix();
+  return matrix;
+}
+
+std::optional<Scenario> find_scenario(const std::string& name) {
+  const auto& m = scenario_matrix();
+  const auto it = std::find_if(m.begin(), m.end(),
+                               [&name](const Scenario& s) { return s.name == name; });
+  if (it == m.end()) return std::nullopt;
+  return *it;
+}
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  names.reserve(scenario_matrix().size());
+  for (const auto& s : scenario_matrix()) names.push_back(s.name);
+  return names;
+}
+
+}  // namespace continu::runner

@@ -1,0 +1,62 @@
+#pragma once
+// Named workload scenarios — the shared matrix of (environment x node
+// count x scheduler x DHT setting) configurations the paper's
+// evaluation sweeps over. Benches, examples, tools and tests all
+// enumerate the same named workloads through this header so "fig5's
+// static 1000-node run" means exactly one thing everywhere.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "trace/generator.hpp"
+
+namespace continu::runner {
+
+/// One named workload: everything needed to build a SystemConfig and a
+/// trace snapshot except the simulation seed (which the experiment
+/// layer varies per replication).
+struct Scenario {
+  std::string name;
+  std::string description;
+
+  // --- workload shape ----------------------------------------------------
+  std::size_t node_count = 1000;
+  core::SchedulerKind scheduler = core::SchedulerKind::kContinuStreaming;
+  bool churn = false;
+  double churn_fraction = 0.05;     ///< leave AND join fraction per period
+  double graceful_fraction = 0.5;   ///< of departures, when churning
+
+  // --- DHT / pre-fetch knobs ("alpha settings") ---------------------------
+  unsigned backup_replicas = 4;
+  unsigned prefetch_limit = 5;
+  std::size_t connected_neighbors = 5;
+  bool heterogeneous_bandwidth = true;
+
+  // --- trace --------------------------------------------------------------
+  std::uint64_t trace_seed = 1;
+  double average_degree = 2.5;
+
+  // --- horizons ------------------------------------------------------------
+  double duration = 45.0;
+  double stable_from = 20.0;
+
+  /// SystemConfig for this workload at the given simulation seed.
+  [[nodiscard]] core::SystemConfig make_config(std::uint64_t seed) const;
+
+  /// Trace generator configuration (deterministic in trace_seed).
+  [[nodiscard]] trace::GeneratorConfig make_trace() const;
+};
+
+/// The canonical scenario matrix. Stable names; append-only across PRs.
+[[nodiscard]] const std::vector<Scenario>& scenario_matrix();
+
+/// Lookup by name; std::nullopt when unknown.
+[[nodiscard]] std::optional<Scenario> find_scenario(const std::string& name);
+
+/// All scenario names, matrix order (for --list-scenarios style output).
+[[nodiscard]] std::vector<std::string> scenario_names();
+
+}  // namespace continu::runner

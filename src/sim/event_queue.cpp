@@ -12,7 +12,7 @@ void EventQueue::push(Event event) {
 }
 
 void EventQueue::drop_cancelled_top() const {
-  while (!heap_.empty() && cancelled_.contains(heap_.front().id)) {
+  while (!heap_.empty() && cancelled_.count(heap_.front().id) != 0) {
     std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
     cancelled_.erase(heap_.back().id);
     heap_.pop_back();

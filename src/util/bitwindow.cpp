@@ -1,6 +1,5 @@
 #include "util/bitwindow.hpp"
 
-#include <bit>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
@@ -12,6 +11,18 @@ constexpr std::size_t kWordBits = 64;
 
 [[nodiscard]] std::size_t words_for(std::size_t bits) noexcept {
   return (bits + kWordBits - 1) / kWordBits;
+}
+
+// C++17 stand-ins for the <bit> word operations (callers never pass 0
+// to the count-zero helpers).
+[[nodiscard]] int popcount64(std::uint64_t w) noexcept {
+  return __builtin_popcountll(w);
+}
+[[nodiscard]] int countr_zero64(std::uint64_t w) noexcept {
+  return __builtin_ctzll(w);
+}
+[[nodiscard]] int countl_zero64(std::uint64_t w) noexcept {
+  return __builtin_clzll(w);
 }
 }  // namespace
 
@@ -73,7 +84,7 @@ void BitWindow::slide_to(SegmentId new_head) {
 
 std::size_t BitWindow::count() const noexcept {
   std::size_t total = 0;
-  for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  for (const auto w : words_) total += static_cast<std::size_t>(popcount64(w));
   return total;
 }
 
@@ -84,12 +95,12 @@ std::size_t BitWindow::count_below(SegmentId limit) const noexcept {
   std::size_t total = 0;
   const std::size_t full_words = bits / kWordBits;
   for (std::size_t i = 0; i < full_words; ++i) {
-    total += static_cast<std::size_t>(std::popcount(words_[i]));
+    total += static_cast<std::size_t>(popcount64(words_[i]));
   }
   const std::size_t rem = bits % kWordBits;
   if (rem != 0) {
     const std::uint64_t mask = (1ULL << rem) - 1;
-    total += static_cast<std::size_t>(std::popcount(words_[full_words] & mask));
+    total += static_cast<std::size_t>(popcount64(words_[full_words] & mask));
   }
   return total;
 }
@@ -110,7 +121,7 @@ std::vector<SegmentId> BitWindow::present() const {
   for (std::size_t wi = 0; wi < words_.size(); ++wi) {
     std::uint64_t w = words_[wi];
     while (w != 0) {
-      const auto bit = static_cast<std::size_t>(std::countr_zero(w));
+      const auto bit = static_cast<std::size_t>(countr_zero64(w));
       out.push_back(head_ + static_cast<SegmentId>(wi * kWordBits + bit));
       w &= w - 1;
     }
@@ -121,7 +132,7 @@ std::vector<SegmentId> BitWindow::present() const {
 std::optional<SegmentId> BitWindow::lowest() const noexcept {
   for (std::size_t wi = 0; wi < words_.size(); ++wi) {
     if (words_[wi] != 0) {
-      const auto bit = static_cast<std::size_t>(std::countr_zero(words_[wi]));
+      const auto bit = static_cast<std::size_t>(countr_zero64(words_[wi]));
       return head_ + static_cast<SegmentId>(wi * kWordBits + bit);
     }
   }
@@ -132,7 +143,7 @@ std::optional<SegmentId> BitWindow::highest() const noexcept {
   for (std::size_t wi = words_.size(); wi > 0; --wi) {
     const std::uint64_t w = words_[wi - 1];
     if (w != 0) {
-      const auto bit = static_cast<std::size_t>(63 - std::countl_zero(w));
+      const auto bit = static_cast<std::size_t>(63 - countl_zero64(w));
       return head_ + static_cast<SegmentId>((wi - 1) * kWordBits + bit);
     }
   }

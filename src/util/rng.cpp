@@ -1,10 +1,16 @@
 #include "util/rng.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 
 namespace continu::util {
+
+namespace {
+// C++17 stand-in for std::rotl (k in [1, 63] at every call site).
+[[nodiscard]] constexpr std::uint64_t rotl64(std::uint64_t v, int k) noexcept {
+  return (v << k) | (v >> (64 - k));
+}
+}  // namespace
 
 std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   state += 0x9e3779b97f4a7c15ULL;
@@ -22,14 +28,14 @@ Rng::Rng(std::uint64_t seed) noexcept {
 }
 
 std::uint64_t Rng::next_u64() noexcept {
-  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t result = rotl64(state_[1] * 5, 7) * 9;
   const std::uint64_t t = state_[1] << 17;
   state_[2] ^= state_[0];
   state_[3] ^= state_[1];
   state_[1] ^= state_[2];
   state_[0] ^= state_[3];
   state_[2] ^= t;
-  state_[3] = std::rotl(state_[3], 45);
+  state_[3] = rotl64(state_[3], 45);
   return result;
 }
 

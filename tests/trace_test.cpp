@@ -206,7 +206,7 @@ TEST(Topology, NoSelfLoopsOrDuplicates) {
     const auto& adj = topo.neighbors(v);
     std::set<std::uint32_t> unique(adj.begin(), adj.end());
     EXPECT_EQ(unique.size(), adj.size());
-    EXPECT_FALSE(unique.contains(v));
+    EXPECT_FALSE(unique.count(v) != 0);
   }
 }
 

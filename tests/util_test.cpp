@@ -251,7 +251,7 @@ TEST(Hash, AvalancheOnLowBit) {
   int differing_bits = 0;
   for (std::uint64_t x = 0; x < 64; ++x) {
     const std::uint64_t d = mix64(x) ^ mix64(x ^ 1);
-    differing_bits += std::popcount(d);
+    differing_bits += __builtin_popcountll(d);
   }
   // Average should be near 32 bits flipped per 1-bit input change.
   EXPECT_GT(differing_bits / 64, 24);

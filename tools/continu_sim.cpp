@@ -1,24 +1,32 @@
 // continu_sim — command-line driver for the ContinuStreaming simulator.
 //
-// Runs one full session on a synthetic clip2-style trace (or a trace
-// file) and reports the paper's metrics. Designed for scripted sweeps:
-// every knob of SystemConfig that the evaluation varies is a flag, and
-// --csv dumps the per-round series for plotting.
+// Runs full sessions on a synthetic clip2-style trace (or a trace file,
+// or a named scenario from the shared matrix) and reports the paper's
+// metrics. Designed for scripted sweeps: every knob of SystemConfig
+// that the evaluation varies is a flag, --replications fans a
+// Monte-Carlo sweep out across --jobs worker threads through the
+// ExperimentRunner, and --csv dumps the per-round series for plotting.
 //
 // Examples:
 //   continu_sim --nodes 1000 --duration 45
 //   continu_sim --nodes 1000 --churn 0.05 --system cool --seed 3
+//   continu_sim --scenario dynamic_1k --replications 20 --jobs 8
 //   continu_sim --trace snapshot.trace --system gridmedia --csv run.csv
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/session.hpp"
 #include "net/message.hpp"
+#include "runner/experiment_runner.hpp"
+#include "runner/scenario.hpp"
 #include "trace/generator.hpp"
 #include "trace/trace.hpp"
 
@@ -36,9 +44,16 @@ struct CliOptions {
   unsigned prefetch_limit = 5;
   bool homogeneous = false;
   std::string system = "continu";
+  std::string scenario;
   std::string trace_path;
   std::string csv_path;
+  unsigned jobs = 0;          // 0 = hardware concurrency
+  std::size_t replications = 1;
+  bool list_scenarios = false;
   bool quiet = false;
+  /// Workload-shaping flags the user actually typed (even at their
+  /// default values) — incompatible with --scenario.
+  std::vector<std::string> workload_flags_seen;
 };
 
 void print_usage(const char* argv0) {
@@ -46,6 +61,8 @@ void print_usage(const char* argv0) {
       "usage: %s [options]\n"
       "  --nodes N          overlay size for the synthetic trace (default 1000)\n"
       "  --trace FILE       load a trace snapshot instead of generating one\n"
+      "  --scenario NAME    use a named scenario from the shared matrix\n"
+      "  --list-scenarios   print the scenario matrix and exit\n"
       "  --duration SEC     virtual seconds to simulate (default 45)\n"
       "  --stable-from SEC  start of the stable measurement window (default 20)\n"
       "  --system NAME      continu | cool | gridmedia (default continu)\n"
@@ -56,16 +73,26 @@ void print_usage(const char* argv0) {
       "  --homogeneous      give every node the mean bandwidth\n"
       "  --seed S           simulation seed (default 42)\n"
       "  --trace-seed S     trace generator seed (default 1)\n"
-      "  --csv FILE         dump per-round series as CSV\n"
+      "  --replications R   independent replications, seeds derived from --seed\n"
+      "                     (default 1)\n"
+      "  --jobs N           worker threads for the replication sweep\n"
+      "                     (default 0 = all hardware threads)\n"
+      "  --csv FILE         dump per-round series as CSV (first replication)\n"
       "  --quiet            print only the final summary line\n"
       "  --help             this text\n",
       argv0);
 }
 
 [[nodiscard]] std::optional<CliOptions> parse(int argc, char** argv) {
+  static const std::set<std::string> kWorkloadFlags = {
+      "--nodes",    "--trace",          "--trace-seed",  "--system",
+      "--churn",    "--neighbors",      "--replicas",    "--prefetch-limit",
+      "--homogeneous", "--duration",    "--stable-from",
+  };
   CliOptions opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (kWorkloadFlags.count(arg) != 0) opt.workload_flags_seen.push_back(arg);
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for %s\n", arg.c_str());
@@ -84,6 +111,12 @@ void print_usage(const char* argv0) {
       const char* v = next();
       if (!v) return std::nullopt;
       opt.trace_path = v;
+    } else if (arg == "--scenario") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.scenario = v;
+    } else if (arg == "--list-scenarios") {
+      opt.list_scenarios = true;
     } else if (arg == "--duration") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -122,6 +155,15 @@ void print_usage(const char* argv0) {
       const char* v = next();
       if (!v) return std::nullopt;
       opt.trace_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--replications") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.replications = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+      if (opt.replications == 0) opt.replications = 1;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--csv") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -137,14 +179,30 @@ void print_usage(const char* argv0) {
   return opt;
 }
 
-}  // namespace
+// --scenario fixes the whole workload; a CLI flag that also shapes it
+// would be silently ignored, so reject the combination outright.
+void reject_scenario_conflicts(const CliOptions& opt) {
+  if (opt.workload_flags_seen.empty()) return;
+  std::fprintf(stderr,
+               "%s conflicts with --scenario '%s' (the scenario fixes the "
+               "workload); drop one of them\n",
+               opt.workload_flags_seen.front().c_str(), opt.scenario.c_str());
+  std::exit(1);
+}
 
-int main(int argc, char** argv) {
+[[nodiscard]] continu::runner::ReplicationSpec base_spec(const CliOptions& opt) {
   using namespace continu;
 
-  const auto parsed = parse(argc, argv);
-  if (!parsed.has_value()) return 1;
-  const CliOptions& opt = *parsed;
+  if (!opt.scenario.empty()) {
+    const auto scenario = runner::find_scenario(opt.scenario);
+    if (!scenario.has_value()) {
+      std::fprintf(stderr, "unknown scenario '%s' (see --list-scenarios)\n",
+                   opt.scenario.c_str());
+      std::exit(1);
+    }
+    reject_scenario_conflicts(opt);
+    return runner::spec_for(*scenario, opt.seed);
+  }
 
   core::SystemConfig config;
   config.seed = opt.seed;
@@ -164,43 +222,110 @@ int main(int argc, char** argv) {
   } else if (opt.system != "continu") {
     std::fprintf(stderr, "unknown system '%s' (continu|cool|gridmedia)\n",
                  opt.system.c_str());
-    return 1;
+    std::exit(1);
   }
 
-  trace::TraceSnapshot snapshot = [&] {
-    if (!opt.trace_path.empty()) {
-      return trace::TraceSnapshot::load_file(opt.trace_path);
+  runner::ReplicationSpec spec;
+  spec.config = config;
+  if (!opt.trace_path.empty()) {
+    try {
+      spec.snapshot = std::make_shared<const trace::TraceSnapshot>(
+          trace::TraceSnapshot::load_file(opt.trace_path));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      std::exit(1);
     }
-    trace::GeneratorConfig tc;
-    tc.node_count = opt.nodes;
-    tc.seed = opt.trace_seed;
-    return trace::generate_snapshot(tc);
-  }();
-  config.expected_nodes = static_cast<double>(snapshot.node_count());
+    spec.config.expected_nodes = static_cast<double>(spec.snapshot->node_count());
+  } else {
+    spec.trace.node_count = opt.nodes;
+    spec.trace.seed = opt.trace_seed;
+    spec.config.expected_nodes = static_cast<double>(opt.nodes);
+  }
+  spec.duration = opt.duration;
+  spec.stable_from = opt.stable_from;
+  return spec;
+}
 
-  core::Session session(config, snapshot);
-  session.run(opt.duration);
+}  // namespace
 
-  const double continuity = session.continuity().stable_mean(opt.stable_from);
-  const double index =
-      session.collector().mean_from("continuity_index", opt.stable_from);
-  const auto& stats = session.stats();
+int main(int argc, char** argv) {
+  using namespace continu;
+
+  const auto parsed = parse(argc, argv);
+  if (!parsed.has_value()) return 1;
+  const CliOptions& opt = *parsed;
+
+  if (opt.list_scenarios) {
+    std::printf("%-20s %-6s %-6s %s\n", "name", "nodes", "churn", "description");
+    for (const auto& s : runner::scenario_matrix()) {
+      std::printf("%-20s %-6zu %-6s %s\n", s.name.c_str(), s.node_count,
+                  s.churn ? "yes" : "no", s.description.c_str());
+    }
+    return 0;
+  }
+
+  // When scenario-driven, the scenario fixes workload shape AND horizons;
+  // the CLI's --seed still picks the replication seed stream.
+  runner::ReplicationSpec spec = base_spec(opt);
+  if (opt.replications > 1 && !spec.snapshot) {
+    // replicate() never varies the trace, so build the snapshot once and
+    // share it instead of regenerating it in every worker.
+    spec.snapshot = std::make_shared<const trace::TraceSnapshot>(
+        trace::generate_snapshot(spec.trace));
+  }
+  const std::size_t nodes =
+      spec.snapshot ? spec.snapshot->node_count() : spec.trace.node_count;
+
+  const runner::ExperimentRunner pool(opt.jobs);
+  const auto specs = opt.replications == 1
+                         ? std::vector<runner::ReplicationSpec>{spec}
+                         : runner::replicate(spec, opt.replications);
+  const auto experiment = pool.run_experiment(specs);
+  const auto& first = experiment.runs.front();
+
+  const char* system_name = "continu";
+  if (spec.config.scheduler == core::SchedulerKind::kCoolStreaming) {
+    system_name = "cool";
+  } else if (spec.config.scheduler == core::SchedulerKind::kGridMediaPushPull) {
+    system_name = "gridmedia";
+  }
 
   if (!opt.quiet) {
-    std::printf("system            : %s\n", opt.system.c_str());
-    std::printf("nodes             : %zu (alive at end: %zu)\n",
-                snapshot.node_count(), session.alive_count());
+    std::printf("system            : %s%s\n", system_name,
+                opt.scenario.empty() ? "" : (" (scenario " + opt.scenario + ")").c_str());
+    std::printf("nodes             : %zu (alive at end: %zu)\n", nodes,
+                first.alive_at_end);
     std::printf("duration          : %.0f s (stable window from %.0f s)\n",
-                opt.duration, opt.stable_from);
-    std::printf("playback continuity: %.4f\n", continuity);
-    std::printf("continuity index  : %.4f\n", index);
-    std::printf("control overhead  : %.5f\n", session.traffic().control_overhead());
-    std::printf("prefetch overhead : %.5f (stable-phase %.5f)\n",
-                session.traffic().prefetch_overhead(),
-                session.collector().mean_from("prefetch_overhead_round",
-                                              opt.stable_from));
-    std::printf("emitted/delivered : %lld / %llu (duplicates %llu, pushed %llu)\n",
-                static_cast<long long>(session.emitted()),
+                spec.duration, spec.stable_from);
+    if (opt.replications > 1) {
+      std::printf("replications      : %zu across %u jobs\n", opt.replications,
+                  pool.jobs());
+      std::printf("playback continuity: %.4f +/- %.4f (min %.4f, max %.4f)\n",
+                  experiment.continuity.mean(), experiment.continuity.stddev(),
+                  experiment.continuity.min(), experiment.continuity.max());
+      std::printf("continuity index  : %.4f +/- %.4f\n",
+                  experiment.continuity_index.mean(),
+                  experiment.continuity_index.stddev());
+      std::printf("control overhead  : %.5f +/- %.5f\n",
+                  experiment.control_overhead.mean(),
+                  experiment.control_overhead.stddev());
+      std::printf("prefetch overhead : %.5f +/- %.5f\n",
+                  experiment.prefetch_overhead.mean(),
+                  experiment.prefetch_overhead.stddev());
+    } else {
+      std::printf("playback continuity: %.4f\n", first.stable_continuity);
+      std::printf("continuity index  : %.4f\n", first.continuity_index);
+      std::printf("control overhead  : %.5f\n", first.control_overhead);
+      std::printf("prefetch overhead : %.5f (stable-phase %.5f)\n",
+                  first.prefetch_overhead,
+                  first.collector.has("prefetch_overhead_round")
+                      ? first.collector.mean_from("prefetch_overhead_round",
+                                                  spec.stable_from)
+                      : 0.0);
+    }
+    const auto& stats = experiment.total;
+    std::printf("emitted/delivered : %llu / %llu (duplicates %llu, pushed %llu)\n",
+                static_cast<unsigned long long>(stats.segments_emitted),
                 static_cast<unsigned long long>(stats.segments_delivered),
                 static_cast<unsigned long long>(stats.duplicate_deliveries),
                 static_cast<unsigned long long>(stats.segments_pushed));
@@ -214,13 +339,18 @@ int main(int argc, char** argv) {
                                                 stats.abrupt_leaves),
                 static_cast<unsigned long long>(stats.graceful_leaves));
   } else {
-    std::printf("%s n=%zu churn=%.3f continuity=%.4f index=%.4f prefetch_oh=%.5f\n",
-                opt.system.c_str(), snapshot.node_count(), opt.churn, continuity,
-                index, session.traffic().prefetch_overhead());
+    const double churn =
+        spec.config.churn_enabled ? spec.config.churn.leave_fraction : 0.0;
+    std::printf("%s n=%zu churn=%.3f reps=%zu continuity=%.4f index=%.4f "
+                "prefetch_oh=%.5f\n",
+                opt.scenario.empty() ? system_name : opt.scenario.c_str(),
+                nodes, churn, opt.replications, experiment.continuity.mean(),
+                experiment.continuity_index.mean(),
+                experiment.prefetch_overhead.mean());
   }
 
   if (!opt.csv_path.empty()) {
-    session.collector().write_csv(opt.csv_path);
+    first.collector.write_csv(opt.csv_path);
     if (!opt.quiet) std::printf("series CSV        : %s\n", opt.csv_path.c_str());
   }
   return 0;
