@@ -1,0 +1,75 @@
+// bench_large_session — end-to-end wall-clock benchmark of one large
+// session (default: the static_8k scenario), emitted as a JSON record
+// so engine changes can be compared across PRs:
+//
+//   {"bench": "large_session", "scenario": "static_8k", "nodes": 8000,
+//    "duration": 45.0, "wall_seconds": 31.2, "events": 12345678,
+//    "events_per_sec": 395694.2, "peak_queue_depth": 23456,
+//    "hardware_concurrency": 8}
+//
+// Sessions are single-threaded by design (determinism), so this
+// measures the event-engine hot path directly: scheduling, queue
+// push/pop, action dispatch and round batching.
+//
+//   bench_large_session [--scenario NAME] [--duration SEC] [--seed S]
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace continu;
+  using Clock = std::chrono::steady_clock;
+
+  std::string name = "static_8k";
+  double duration = 0.0;  // 0 = scenario default
+  std::uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
+      name = argv[++i];
+    } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
+      duration = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scenario NAME] [--duration SEC] [--seed S]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  const auto scenario = bench::require_scenario(name);
+  auto spec = runner::spec_for(scenario, seed);
+  if (duration > 0.0) spec.duration = duration;
+
+  // Build the snapshot outside the timed region: trace generation is
+  // not the engine under test.
+  const auto snapshot = trace::generate_snapshot(spec.trace);
+
+  const auto start = Clock::now();
+  core::Session session(spec.config, snapshot);
+  session.run(spec.duration);
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  const std::uint64_t events = session.simulator().executed();
+  const std::size_t peak = session.simulator().peak_pending();
+  std::fprintf(stderr,
+               "  %s: %.2fs wall, %" PRIu64 " events (%.0f events/s), peak queue %zu\n",
+               name.c_str(), wall, events, static_cast<double>(events) / wall, peak);
+  std::printf(
+      "{\"bench\": \"large_session\", \"scenario\": \"%s\", \"nodes\": %zu, "
+      "\"duration\": %.1f, \"seed\": %" PRIu64 ", \"wall_seconds\": %.3f, "
+      "\"events\": %" PRIu64 ", \"events_per_sec\": %.1f, "
+      "\"peak_queue_depth\": %zu, \"hardware_concurrency\": %u}\n",
+      name.c_str(), scenario.node_count, spec.duration, seed, wall, events,
+      static_cast<double>(events) / wall, peak,
+      std::thread::hardware_concurrency());
+  return 0;
+}

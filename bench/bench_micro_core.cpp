@@ -5,11 +5,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "core/buffer_map.hpp"
 #include "core/priority.hpp"
 #include "core/scheduler.hpp"
 #include "dht/id_space.hpp"
 #include "dht/routing_experiment.hpp"
+#include "sim/round_scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "util/bitwindow.hpp"
 #include "util/rng.hpp"
@@ -18,7 +22,42 @@ namespace {
 
 using namespace continu;
 
+/// Representative protocol capture (~48 bytes: this*, indices, segment
+/// ids, a rate) — the size every session/network/DHT action actually
+/// schedules. std::function heap-allocated every one of these; the
+/// EventAction slot pool stores them inline.
+struct ActionPayload {
+  void* self = nullptr;
+  std::size_t requester = 1;
+  std::size_t supplier = 2;
+  std::uint64_t segment = 3;
+  std::uint64_t node = 4;
+  double rate = 5.0;
+};
+
 void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  ActionPayload payload;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (std::size_t i = 0; i < batch; ++i) {
+      sim.schedule_in(rng.next_double(),
+                      [payload, &sink] { sink += payload.segment; });
+    }
+    benchmark::DoNotOptimize(sim.run_all());
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/// Floor variant: captureless actions (the cheapest possible schedule;
+/// std::function kept these in its own small-buffer too, so this
+/// isolates the queue data structure from action storage).
+void BM_EventQueuePushPopEmpty(benchmark::State& state) {
   const auto batch = static_cast<std::size_t>(state.range(0));
   util::Rng rng(1);
   for (auto _ : state) {
@@ -31,7 +70,55 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch));
 }
-BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_EventQueuePushPopEmpty)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/// Churn shape: half of the scheduled events are cancelled before they
+/// fire. Cancels are O(1) slot writes; dead heap entries die lazily.
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  std::vector<sim::EventId> ids;
+  ids.reserve(batch);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    ids.clear();
+    for (std::size_t i = 0; i < batch; ++i) {
+      ids.push_back(sim.schedule_in(rng.next_double(), [] {}));
+    }
+    for (std::size_t i = 0; i < batch; i += 2) {
+      benchmark::DoNotOptimize(sim.cancel(ids[i]));
+    }
+    benchmark::DoNotOptimize(sim.run_all());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(1000)->Arg(100000);
+
+/// A fleet of same-period participants behind one batched proxy event
+/// (the per-node scheduling-round fleet of a session).
+void BM_RoundSchedulerTicks(benchmark::State& state) {
+  const auto participants = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(9);
+  std::vector<double> phases;
+  phases.reserve(participants);
+  for (std::size_t i = 0; i < participants; ++i) {
+    phases.push_back(rng.next_range(0.05, 0.90));
+  }
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t ticks = 0;
+    sim::RoundScheduler rounds(sim, 1.0, [&ticks](std::size_t) { ++ticks; });
+    for (std::size_t i = 0; i < participants; ++i) {
+      (void)rounds.add(phases[i], i);
+    }
+    sim.run_until(10.0);
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(participants) * 10);
+}
+BENCHMARK(BM_RoundSchedulerTicks)->Arg(1000)->Arg(8000);
 
 void BM_BufferMapEncodeDecode(benchmark::State& state) {
   util::Rng rng(2);

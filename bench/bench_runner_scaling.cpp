@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -78,9 +79,12 @@ int main() {
                  p.reps_per_sec);
   }
 
+  // hardware_concurrency makes the record interpretable across hosts:
+  // a ~1.0x curve on a 1-core CI box is expected, on 8 cores it is a
+  // bug (the ROADMAP "verify speedup on 4+ cores" item keys off this).
   std::printf("{\"bench\": \"runner_scaling\", \"replications\": %zu, "
-              "\"nodes\": %zu, \"points\": [",
-              kReplications, kNodes);
+              "\"nodes\": %zu, \"hardware_concurrency\": %u, \"points\": [",
+              kReplications, kNodes, std::thread::hardware_concurrency());
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& p = points[i];
     std::printf("%s{\"jobs\": %u, \"seconds\": %.3f, \"reps_per_sec\": %.3f, "

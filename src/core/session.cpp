@@ -96,7 +96,9 @@ Session::Session(const SystemConfig& config, const trace::TraceSnapshot& snapsho
       directory_(space_),
       rp_(space_, util::Rng(config.seed ^ 0x5250ULL)),
       churn_(config.churn, util::Rng(config.seed ^ 0xC4u)),
-      rng_(config.seed) {
+      rng_(config.seed),
+      rounds_(sim_, config.scheduling_period,
+              [this](std::size_t user) { on_round_tick(user); }) {
   network_.set_delivery_filter([this](std::size_t to) { return alive_index(to); });
   // Self-calibrate t_hop from the trace (the paper: "t_hop is ... an
   // approximate estimation from our simulation experience"). Drives the
@@ -114,7 +116,7 @@ Session::~Session() = default;
 void Session::build_nodes(const trace::TraceSnapshot& snapshot) {
   const std::size_t n = snapshot.node_count();
   nodes_.reserve(n);
-  round_processes_.reserve(n);
+  round_handles_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const NodeId id = rp_.assign_id();
     double inbound =
@@ -239,20 +241,25 @@ void Session::start_processes() {
   emit_process_->start(emit_period);
 
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    auto process = std::make_unique<sim::PeriodicProcess>(
-        sim_, tau, [this, i] { on_node_round(i); });
-    process->start(rng_.next_range(kPhaseLo, kPhaseHi) * tau);
-    round_processes_.push_back(std::move(process));
+    round_handles_.push_back(
+        rounds_.add(rng_.next_range(kPhaseLo, kPhaseHi) * tau, i));
   }
 
-  sample_process_ =
-      std::make_unique<sim::PeriodicProcess>(sim_, tau, [this] { on_sample_tick(); });
-  sample_process_->start(tau);
-
+  // The metrics sampler and churn planner share the scheduling period;
+  // they ride the same RoundScheduler under reserved tags.
+  (void)rounds_.add(tau, kSampleTickUser);
   if (config_.churn_enabled) {
-    churn_process_ =
-        std::make_unique<sim::PeriodicProcess>(sim_, tau, [this] { on_churn_tick(); });
-    churn_process_->start(kChurnPhase * tau);
+    (void)rounds_.add(kChurnPhase * tau, kChurnTickUser);
+  }
+}
+
+void Session::on_round_tick(std::size_t user) {
+  if (user == kSampleTickUser) {
+    on_sample_tick();
+  } else if (user == kChurnTickUser) {
+    on_churn_tick();
+  } else {
+    on_node_round(user);
   }
 }
 
@@ -919,11 +926,20 @@ void Session::route_hop(std::size_t current, NodeId target, std::size_t origin,
       continue;
     }
     ++stats_.dht_route_messages;
-    const std::size_t nidx = *next_index;
-    network_.send(current, nidx, MessageType::kDhtRoute, WireCosts::kDhtRouteBits,
-                  [this, nidx, target, origin, op, hops, current] {
+    // Indices packed to 32 bits so the whole capture (48 bytes) plus
+    // the network delivery wrapper stays within the event action's
+    // inline buffer — this is the engine's largest scheduled capture.
+    const auto nidx32 = static_cast<std::uint32_t>(*next_index);
+    const auto origin32 = static_cast<std::uint32_t>(origin);
+    const auto current32 = static_cast<std::uint32_t>(current);
+    network_.send(current, *next_index, MessageType::kDhtRoute,
+                  WireCosts::kDhtRouteBits,
+                  [this, target, op, nidx32, origin32, current32, hops] {
                     // Overhearing: the forwarding node learns about the
                     // query origin and the previous hop for free.
+                    const std::size_t nidx = nidx32;
+                    const std::size_t origin = origin32;
+                    const std::size_t current = current32;
                     Node& here = *nodes_[nidx];
                     const Node& org = *nodes_[origin];
                     const Node& prev = *nodes_[current];
@@ -1076,7 +1092,7 @@ void Session::kill_node(std::size_t index, bool graceful) {
   directory_.erase(node.id());
   rp_.report_failure(node.id());
   index_of_.erase(node.id());
-  round_processes_[index]->stop();
+  rounds_.remove(round_handles_[index]);
 }
 
 void Session::do_join() {
@@ -1158,10 +1174,8 @@ void Session::do_join() {
   index_of_[id] = index;
   nodes_.push_back(std::move(node));
 
-  auto process = std::make_unique<sim::PeriodicProcess>(
-      sim_, config_.scheduling_period, [this, index] { on_node_round(index); });
-  process->start(rng_.next_range(kPhaseLo, kPhaseHi) * config_.scheduling_period);
-  round_processes_.push_back(std::move(process));
+  round_handles_.push_back(rounds_.add(
+      rng_.next_range(kPhaseLo, kPhaseHi) * config_.scheduling_period, index));
 }
 
 // --------------------------------------------------------------------------

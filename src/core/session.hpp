@@ -28,6 +28,7 @@
 #include "net/network.hpp"
 #include "overlay/churn.hpp"
 #include "overlay/rendezvous.hpp"
+#include "sim/round_scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
@@ -118,6 +119,8 @@ class Session {
 
   // --- per-round behaviour ------------------------------------------------
   void on_source_emit();
+  /// RoundScheduler dispatch: `user` is a node index or a reserved tag.
+  void on_round_tick(std::size_t user);
   void on_node_round(std::size_t index);
   void repair_neighbors(Node& node);
   void do_playback(Node& node);
@@ -169,11 +172,18 @@ class Session {
   overlay::ChurnPlanner churn_;
   util::Rng rng_;
 
+  /// Reserved RoundScheduler tags for the session-wide per-period
+  /// ticks batched alongside the node rounds.
+  static constexpr std::size_t kSampleTickUser = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kChurnTickUser = static_cast<std::size_t>(-2);
+
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::vector<std::unique_ptr<sim::PeriodicProcess>> round_processes_;
+  /// All scheduling-period ticks — node rounds, metric sampling, churn
+  /// — batched behind one pending simulator event. Handles are indexed
+  /// by session index; join/leave is an O(1) add/remove.
+  sim::RoundScheduler rounds_;
+  std::vector<sim::RoundScheduler::Handle> round_handles_;
   std::unique_ptr<sim::PeriodicProcess> emit_process_;
-  std::unique_ptr<sim::PeriodicProcess> sample_process_;
-  std::unique_ptr<sim::PeriodicProcess> churn_process_;
   std::unordered_map<NodeId, std::size_t> index_of_;
 
   SegmentId emitted_ = 0;

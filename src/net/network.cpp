@@ -7,21 +7,6 @@ namespace continu::net {
 Network::Network(sim::Simulator& sim, LatencyModel latency)
     : sim_(sim), latency_(std::move(latency)) {}
 
-void Network::send(std::size_t from, std::size_t to, MessageType type, Bits bits,
-                   std::function<void()> on_delivery, SimTime extra_delay) {
-  // Traffic is charged at send time: the bits hit the wire whether or
-  // not the destination is still alive.
-  traffic_.charge(traffic_class_of(type), bits);
-  const SimTime delay = latency_.latency_s(from, to) + extra_delay;
-  sim_.schedule_in(delay, [this, to, cb = std::move(on_delivery)] {
-    if (filter_ && !filter_(to)) {
-      ++dropped_;
-      return;
-    }
-    if (cb) cb();
-  });
-}
-
 void Network::charge_only(MessageType type, Bits bits) {
   traffic_.charge(traffic_class_of(type), bits);
 }

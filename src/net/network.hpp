@@ -5,6 +5,8 @@
 // nothing about segments or DHT semantics.
 
 #include <functional>
+#include <type_traits>
+#include <utility>
 
 #include "net/latency_model.hpp"
 #include "net/message.hpp"
@@ -23,8 +25,24 @@ class Network {
   /// payload transfer time computed by the sender's rate controller).
   /// Dropped silently if a drop filter rejects the destination (dead
   /// node) — exactly like a UDP packet into the void.
+  ///
+  /// Templated so the delivery capture is stored FLAT inside the
+  /// scheduled event (callback + 16 bytes of filter state), keeping
+  /// the whole send path allocation-free for inline-sized callbacks.
+  template <typename F>
   void send(std::size_t from, std::size_t to, MessageType type, Bits bits,
-            std::function<void()> on_delivery, SimTime extra_delay = 0.0);
+            F&& on_delivery, SimTime extra_delay = 0.0) {
+    static_assert(sizeof(Delivery<std::decay_t<F>>) <=
+                      sim::EventAction::kInlineCapacity,
+                  "delivery capture exceeds the inline event-action buffer; "
+                  "shrink the capture (pack indices) or bump kInlineCapacity");
+    // Traffic is charged at send time: the bits hit the wire whether or
+    // not the destination is still alive.
+    traffic_.charge(traffic_class_of(type), bits);
+    const SimTime delay = latency_.latency_s(from, to) + extra_delay;
+    sim_.schedule_in(
+        delay, Delivery<std::decay_t<F>>{this, to, std::forward<F>(on_delivery)});
+  }
 
   /// Charges traffic for a message without scheduling delivery (used
   /// for locally-absorbed costs like the last routing hop's reply).
@@ -43,6 +61,20 @@ class Network {
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
  private:
+  template <typename F>
+  struct Delivery {
+    Network* net;
+    std::size_t to;
+    F fn;
+    void operator()() {
+      if (net->filter_ && !net->filter_(to)) {
+        ++net->dropped_;
+        return;
+      }
+      fn();
+    }
+  };
+
   sim::Simulator& sim_;
   LatencyModel latency_;
   TrafficAccount traffic_;

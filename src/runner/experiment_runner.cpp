@@ -1,6 +1,7 @@
 #include "runner/experiment_runner.hpp"
 
 #include <exception>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
@@ -14,12 +15,21 @@ std::uint64_t replication_seed(std::uint64_t base, std::size_t index) {
   return util::mix64(util::mix64(base) ^ (static_cast<std::uint64_t>(index) + 1));
 }
 
-std::vector<ReplicationSpec> replicate(const ReplicationSpec& base, std::size_t count) {
+std::vector<ReplicationSpec> replicate(const ReplicationSpec& base, std::size_t count,
+                                       ReplicateOptions options) {
+  if (options.vary_trace_seed && base.snapshot) {
+    throw std::invalid_argument(
+        "replicate: vary_trace_seed is meaningless with a pre-built snapshot "
+        "(the snapshot pins the topology)");
+  }
   std::vector<ReplicationSpec> specs;
   specs.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     ReplicationSpec spec = base;
     spec.config.seed = replication_seed(base.config.seed, i);
+    if (options.vary_trace_seed) {
+      spec.trace.seed = replication_seed(base.trace.seed, i);
+    }
     spec.label = base.label.empty() ? ("#" + std::to_string(i))
                                     : (base.label + " #" + std::to_string(i));
     specs.push_back(std::move(spec));

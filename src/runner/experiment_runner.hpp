@@ -81,10 +81,22 @@ struct ExperimentResult {
 /// (base, index): stable across jobs counts, platforms and reruns.
 [[nodiscard]] std::uint64_t replication_seed(std::uint64_t base, std::size_t index);
 
+/// Knobs for replicate(). Defaults reproduce the classic behaviour
+/// bit-for-bit: only the simulation seed varies per replication.
+struct ReplicateOptions {
+  /// Also derive a fresh trace seed per replication, so each one runs
+  /// on its own topology (topology-robustness sweeps). Incompatible
+  /// with a pre-built base.snapshot, which would silently pin the
+  /// topology — replicate() throws on that combination.
+  bool vary_trace_seed = false;
+};
+
 /// `count` copies of `base` with config.seed = replication_seed(base.config.seed, i)
-/// and labels suffixed "#i".
+/// and labels suffixed "#i". With options.vary_trace_seed, trace.seed is
+/// likewise replication_seed(base.trace.seed, i).
 [[nodiscard]] std::vector<ReplicationSpec> replicate(const ReplicationSpec& base,
-                                                     std::size_t count);
+                                                     std::size_t count,
+                                                     ReplicateOptions options = {});
 
 /// Spec for one named scenario at one seed (trace comes from the scenario).
 [[nodiscard]] ReplicationSpec spec_for(const Scenario& scenario, std::uint64_t seed);

@@ -82,6 +82,15 @@ namespace {
     add(s);
   }
 
+  {
+    Scenario s;
+    s.name = "static_8k";
+    s.description = "8000 nodes, static (engine-scaling workload, fig7 extension)";
+    s.node_count = 8000;
+    s.trace_seed = 8700;
+    add(s);
+  }
+
   // --- baselines on the same substrate ------------------------------------
   {
     Scenario s;

@@ -1,44 +1,159 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace continu::sim {
 
-void EventQueue::push(Event event) {
-  pending_.insert(event.id);
-  heap_.push_back(std::move(event));
-  std::push_heap(heap_.begin(), heap_.end(), EventLater{});
+std::uint32_t EventQueue::grow_pool() {
+  if (slot_count_ > kSlotMask) {
+    throw std::length_error("EventQueue: pending-event slot pool exhausted");
+  }
+  if ((slot_count_ & (kBlockSize - 1)) == 0) {
+    blocks_.push_back(std::make_unique<Slot[]>(kBlockSize));
+  }
+  return slot_count_++;
 }
 
-void EventQueue::drop_cancelled_top() const {
-  while (!heap_.empty() && cancelled_.count(heap_.front().id) != 0) {
-    std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
-    cancelled_.erase(heap_.back().id);
-    heap_.pop_back();
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNoFree) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slot(index).next_free;
+    return index;
   }
+  return grow_pool();
+}
+
+void EventQueue::release_slot(std::uint32_t index) noexcept {
+  Slot& s = slot(index);
+  s.id = kInvalidEvent;
+  s.next_free = free_head_;
+  free_head_ = index;
+}
+
+EventId EventQueue::push(SimTime time, EventAction action) {
+  if (!action) {
+    throw std::invalid_argument("EventQueue: empty action");
+  }
+  const std::uint32_t index = acquire_slot();
+  const EventId id = (next_seq_++ << kSlotBits) | index;
+  Slot& s = slot(index);
+  // Same publish-last ordering as emplace(): the slot id is set only
+  // once the entry and action are in place, so a heap_ allocation
+  // failure cannot leave a live-looking slot behind.
+  s.action = std::move(action);
+  heap_.push_back(HeapEntry{time, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  s.id = id;
+  ++live_;
+  if (live_ > peak_live_) peak_live_ = live_;
+  return id;
+}
+
+void EventQueue::remove_top() noexcept {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+}
+
+void EventQueue::drop_dead_top() const {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    if (slot(top.id & kSlotMask).id == top.id) return;  // live
+    const_cast<EventQueue*>(this)->remove_top();
+  }
+}
+
+Event EventQueue::take_top(HeapEntry top) {
+  const std::uint32_t index = top.id & kSlotMask;
+  Event out;
+  out.time = top.time;
+  out.id = top.id;
+  out.action = std::move(slot(index).action);
+  release_slot(index);
+  --live_;
+  remove_top();
+  return out;
 }
 
 Event EventQueue::pop() {
-  drop_cancelled_top();
+  drop_dead_top();
   if (heap_.empty()) {
     throw std::logic_error("EventQueue::pop on empty queue");
   }
-  std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
-  Event e = std::move(heap_.back());
-  heap_.pop_back();
-  pending_.erase(e.id);
-  return e;
+  return take_top(heap_.front());
 }
 
-bool EventQueue::cancel(EventId id) {
-  if (pending_.erase(id) == 0) return false;
-  cancelled_.insert(id);
+bool EventQueue::pop_until(SimTime horizon, Event& out) {
+  drop_dead_top();
+  if (heap_.empty() || heap_.front().time > horizon) return false;
+  out = take_top(heap_.front());
+  return true;
+}
+
+bool EventQueue::acquire_due(SimTime horizon, DueEvent& out) {
+  for (;;) {
+    if (heap_.empty()) return false;
+    const HeapEntry top = heap_.front();
+    // A stale (cancelled) top beyond the horizon is left in place —
+    // drop_dead_top() purges it whenever ordering queries need it.
+    if (top.time > horizon) return false;
+    const std::uint32_t index = top.id & kSlotMask;
+    Slot& s = slot(index);
+    // Start the slot-line fill now; the heap percolation below hides
+    // most of its latency.
+    __builtin_prefetch(&s, 1);
+    remove_top();
+    if (s.id != top.id) continue;  // cancelled or stale: discard lazily
+    // De-register but do NOT free: the slot must not be reused while
+    // its action runs, and a cancel() of the running id must no-op.
+    s.id = kInvalidEvent;
+    --live_;
+    out.time = top.time;
+    out.slot_index = index;
+    // Start fetching the NEXT event's slot a whole pop early — the
+    // caller's action execution plus the next heap percolation give
+    // the line a full miss latency of lead time.
+    if (!heap_.empty()) {
+      __builtin_prefetch(&slot(heap_.front().id & kSlotMask), 1);
+    }
+    return true;
+  }
+}
+
+void EventQueue::execute_and_release(const DueEvent& due) {
+  // The slot returns to the freelist even if the action throws —
+  // consume() likewise destroys the capture on the throw path, so a
+  // throwing action cannot leak queue state.
+  struct ReleaseGuard {
+    EventQueue* queue;
+    std::uint32_t index;
+    ~ReleaseGuard() {
+      Slot& s = queue->slot(index);
+      s.next_free = queue->free_head_;
+      queue->free_head_ = index;
+    }
+  } guard{this, due.slot_index};
+  // Slot blocks never move, so the reference stays valid even if the
+  // action schedules new events (growing the pool or the heap).
+  slot(due.slot_index).action.consume();
+}
+
+bool EventQueue::cancel(EventId id) noexcept {
+  if (id == kInvalidEvent) return false;
+  const std::uint32_t index = id & kSlotMask;
+  if (index >= slot_count_) return false;
+  Slot& s = slot(index);
+  if (s.id != id) return false;
+  s.action.reset();
+  release_slot(index);
+  --live_;
   return true;
 }
 
 SimTime EventQueue::next_time() const {
-  drop_cancelled_top();
+  drop_dead_top();
   if (heap_.empty()) {
     throw std::logic_error("EventQueue::next_time on empty queue");
   }

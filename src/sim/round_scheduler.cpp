@@ -1,0 +1,124 @@
+#include "sim/round_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace continu::sim {
+
+RoundScheduler::RoundScheduler(Simulator& sim, SimTime period,
+                               std::function<void(std::size_t)> tick)
+    : sim_(sim), period_(period), tick_(std::move(tick)) {
+  if (period_ <= 0.0) {
+    throw std::invalid_argument("RoundScheduler: period must be positive");
+  }
+  if (!tick_) {
+    throw std::invalid_argument("RoundScheduler: empty tick");
+  }
+}
+
+RoundScheduler::~RoundScheduler() {
+  if (armed_ != kInvalidEvent) {
+    sim_.cancel(armed_);
+  }
+}
+
+void RoundScheduler::push_entry(Entry entry) {
+  heap_.push_back(entry);
+  std::push_heap(heap_.begin(), heap_.end(), LaterEntry{});
+}
+
+RoundScheduler::Entry RoundScheduler::pop_entry() {
+  std::pop_heap(heap_.begin(), heap_.end(), LaterEntry{});
+  const Entry top = heap_.back();
+  heap_.pop_back();
+  return top;
+}
+
+void RoundScheduler::drop_dead() {
+  while (!heap_.empty() && !entry_live(heap_.front())) {
+    (void)pop_entry();
+  }
+}
+
+RoundScheduler::Handle RoundScheduler::add(SimTime initial_delay, std::size_t user) {
+  std::uint32_t index;
+  if (free_head_ != kNoSlot) {
+    index = free_head_;
+    free_head_ = parts_[index].next_free;
+  } else {
+    index = static_cast<std::uint32_t>(parts_.size());
+    parts_.push_back(Participant{});
+  }
+  Participant& p = parts_[index];
+  p.user = user;
+  p.alive = true;
+  if (initial_delay < 0.0) initial_delay = 0.0;
+  push_entry(Entry{sim_.now() + initial_delay, next_seq_++, index, p.generation});
+  ++active_;
+  rearm();
+  return Handle{index, p.generation};
+}
+
+bool RoundScheduler::remove(Handle handle) noexcept {
+  if (handle.slot >= parts_.size()) return false;
+  Participant& p = parts_[handle.slot];
+  if (!p.alive || p.generation != handle.generation) return false;
+  p.alive = false;
+  ++p.generation;  // invalidates heap entries and outstanding handles
+  p.next_free = free_head_;
+  free_head_ = handle.slot;
+  --active_;
+  return true;
+}
+
+bool RoundScheduler::contains(Handle handle) const noexcept {
+  if (handle.slot >= parts_.size()) return false;
+  const Participant& p = parts_[handle.slot];
+  return p.alive && p.generation == handle.generation;
+}
+
+void RoundScheduler::fire() {
+  armed_ = kInvalidEvent;
+  // Batch: every live tick due at exactly THIS instant, in add()
+  // order. Anchoring on now() (not the heap minimum) matters: if a
+  // remove() from outside a tick deleted the participant the proxy
+  // was armed for, the surviving minimum lies in the future and must
+  // NOT run early — the rearm below re-aims the proxy instead.
+  const SimTime due = sim_.now();
+  drop_dead();
+  while (!heap_.empty() && heap_.front().time <= due) {
+    const Entry e = pop_entry();
+    if (!entry_live(e)) continue;
+    tick_(parts_[e.slot].user);
+    // The tick may have removed its own participant (or recycled the
+    // slot); only a still-matching generation re-arms the next round.
+    // next = fired + period, the exact arithmetic PeriodicProcess used
+    // (e.time == now for every entry the proxy was armed for).
+    const Participant& p = parts_[e.slot];
+    if (p.alive && p.generation == e.generation) {
+      push_entry(Entry{e.time + period_, next_seq_++, e.slot, e.generation});
+    }
+  }
+  rearm();
+}
+
+void RoundScheduler::rearm() {
+  drop_dead();
+  if (heap_.empty()) {
+    if (armed_ != kInvalidEvent) {
+      sim_.cancel(armed_);
+      armed_ = kInvalidEvent;
+    }
+    return;
+  }
+  const SimTime due = heap_.front().time;
+  if (armed_ != kInvalidEvent) {
+    if (armed_time_ == due) return;
+    sim_.cancel(armed_);
+  }
+  armed_time_ = due;
+  armed_ = sim_.schedule_at(due, [this] { fire(); });
+}
+
+}  // namespace continu::sim

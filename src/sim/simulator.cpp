@@ -1,35 +1,35 @@
 #include "sim/simulator.hpp"
 
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
 namespace continu::sim {
 
-EventId Simulator::schedule_in(SimTime delay, std::function<void()> action) {
+EventId Simulator::schedule_in(SimTime delay, EventAction action) {
+  if (!action) {
+    throw std::invalid_argument("Simulator: empty action");
+  }
   if (delay < 0.0) delay = 0.0;
-  return schedule_at(now_ + delay, std::move(action));
+  return queue_.push(now_ + delay, std::move(action));
 }
 
-EventId Simulator::schedule_at(SimTime when, std::function<void()> action) {
+EventId Simulator::schedule_at(SimTime when, EventAction action) {
   if (!action) {
     throw std::invalid_argument("Simulator: empty action");
   }
   if (when < now_) when = now_;
-  const EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(action)});
-  return id;
+  return queue_.push(when, std::move(action));
 }
-
-bool Simulator::cancel(EventId id) { return queue_.cancel(id); }
 
 std::size_t Simulator::run_until(SimTime horizon) {
   std::size_t ran = 0;
-  while (!queue_.empty() && queue_.next_time() <= horizon) {
-    Event e = queue_.pop();
-    now_ = e.time;
+  EventQueue::DueEvent due;
+  while (queue_.acquire_due(horizon, due)) {
+    now_ = due.time;
     ++executed_;
     ++ran;
-    e.action();
+    queue_.execute_and_release(due);
   }
   if (now_ < horizon) now_ = horizon;
   return ran;
@@ -37,12 +37,12 @@ std::size_t Simulator::run_until(SimTime horizon) {
 
 std::size_t Simulator::run_all() {
   std::size_t ran = 0;
-  while (!queue_.empty()) {
-    Event e = queue_.pop();
-    now_ = e.time;
+  EventQueue::DueEvent due;
+  while (queue_.acquire_due(std::numeric_limits<SimTime>::infinity(), due)) {
+    now_ = due.time;
     ++executed_;
     ++ran;
-    e.action();
+    queue_.execute_and_release(due);
   }
   return ran;
 }
@@ -56,8 +56,7 @@ bool Simulator::step() {
   return true;
 }
 
-PeriodicProcess::PeriodicProcess(Simulator& sim, SimTime period,
-                                 std::function<void()> tick)
+PeriodicProcess::PeriodicProcess(Simulator& sim, SimTime period, EventAction tick)
     : sim_(sim), period_(period), tick_(std::move(tick)) {
   if (period_ <= 0.0) {
     throw std::invalid_argument("PeriodicProcess: period must be positive");
@@ -85,12 +84,14 @@ void PeriodicProcess::stop() {
 }
 
 void PeriodicProcess::arm(SimTime delay) {
-  pending_event_ = sim_.schedule_in(delay, [this] {
-    pending_event_ = kInvalidEvent;
-    if (!running_) return;
-    tick_();
-    if (running_) arm(period_);
-  });
+  pending_event_ = sim_.schedule_in(delay, [this] { fire(); });
+}
+
+void PeriodicProcess::fire() {
+  pending_event_ = kInvalidEvent;
+  if (!running_) return;
+  tick_();
+  if (running_) arm(period_);
 }
 
 }  // namespace continu::sim

@@ -5,8 +5,15 @@
 // transfers, DHT routing hops, churn, playback ticks — executes as
 // events on one Simulator instance, so a (seed, config) pair fully
 // determines a run.
+//
+// Scheduling is allocation-free for ordinary captures: actions are
+// EventActions (small-buffer optimized) stored directly in the queue's
+// slot pool, and cancel() is an O(1) slot write.
 
 #include <functional>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
 
 #include "sim/event_queue.hpp"
 #include "util/types.hpp"
@@ -23,14 +30,32 @@ class Simulator {
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
   /// Schedules `action` to run at now() + delay (delay clamped to >= 0).
-  /// Returns a handle usable with cancel().
-  EventId schedule_in(SimTime delay, std::function<void()> action);
+  /// Returns a handle usable with cancel(). Accepts any callable;
+  /// captures up to EventAction::kInlineCapacity bytes never allocate
+  /// (the callable is constructed directly in the queue's slot pool).
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventAction>>>
+  EventId schedule_in(SimTime delay, F&& f) {
+    validate_callable(f);
+    if (delay < 0.0) delay = 0.0;
+    return queue_.emplace(now_ + delay, std::forward<F>(f));
+  }
 
   /// Schedules `action` at an absolute time (clamped to >= now()).
-  EventId schedule_at(SimTime when, std::function<void()> action);
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventAction>>>
+  EventId schedule_at(SimTime when, F&& f) {
+    validate_callable(f);
+    if (when < now_) when = now_;
+    return queue_.emplace(when, std::forward<F>(f));
+  }
+
+  /// Overloads for pre-built actions.
+  EventId schedule_in(SimTime delay, EventAction action);
+  EventId schedule_at(SimTime when, EventAction action);
 
   /// Cancels a pending event; returns true iff it was still pending.
-  bool cancel(EventId id);
+  bool cancel(EventId id) noexcept { return queue_.cancel(id); }
 
   /// Runs events until the queue drains or the clock passes `horizon`.
   /// Events at exactly `horizon` still run. Returns events executed.
@@ -45,22 +70,37 @@ class Simulator {
   /// Live events still pending.
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
 
+  /// High-water mark of pending events since construction.
+  [[nodiscard]] std::size_t peak_pending() const noexcept {
+    return queue_.peak_size();
+  }
+
   /// Total events executed since construction.
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
  private:
+  /// Rejects the one empty callable the API can meet (a null
+  /// std::function); arbitrary callables are always invocable.
+  template <typename F>
+  static void validate_callable(const F& f) {
+    if constexpr (std::is_same_v<std::decay_t<F>, std::function<void()>>) {
+      if (!f) throw std::invalid_argument("Simulator: empty action");
+    }
+  }
+
   EventQueue queue_;
   SimTime now_ = 0.0;
-  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
 };
 
 /// Repeating event helper: reschedules itself every `period` until
-/// stop() or the owning simulator drains. Used for scheduling rounds,
-/// churn ticks and metric sampling.
+/// stop() or the owning simulator drains. One pending event at a time;
+/// re-arming reuses the inline [this] capture, so ticking never
+/// allocates. Used for source emission and ad-hoc periodic work; fleets
+/// of same-period ticks belong on a RoundScheduler instead.
 class PeriodicProcess {
  public:
-  PeriodicProcess(Simulator& sim, SimTime period, std::function<void()> tick);
+  PeriodicProcess(Simulator& sim, SimTime period, EventAction tick);
   ~PeriodicProcess();
   PeriodicProcess(const PeriodicProcess&) = delete;
   PeriodicProcess& operator=(const PeriodicProcess&) = delete;
@@ -76,10 +116,11 @@ class PeriodicProcess {
 
  private:
   void arm(SimTime delay);
+  void fire();
 
   Simulator& sim_;
   SimTime period_;
-  std::function<void()> tick_;
+  EventAction tick_;
   EventId pending_event_ = kInvalidEvent;
   bool running_ = false;
 };

@@ -67,6 +67,61 @@ TEST(Replicate, LabelsAndSeeds) {
   }
 }
 
+TEST(Replicate, VaryTraceSeedDerivesFreshTopologies) {
+  ReplicationSpec base = small_spec(7);
+  ReplicateOptions options;
+  options.vary_trace_seed = true;
+  const auto specs = replicate(base, 5, options);
+  ASSERT_EQ(specs.size(), 5u);
+  std::set<std::uint64_t> trace_seeds;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].config.seed, replication_seed(7, i));
+    EXPECT_EQ(specs[i].trace.seed, replication_seed(base.trace.seed, i));
+    trace_seeds.insert(specs[i].trace.seed);
+  }
+  EXPECT_EQ(trace_seeds.size(), specs.size()) << "topologies must differ";
+
+  // Default behaviour is unchanged: same call without the option is
+  // bit-identical to the two-argument overload.
+  const auto classic = replicate(base, 5);
+  const auto classic_default = replicate(base, 5, ReplicateOptions{});
+  for (std::size_t i = 0; i < classic.size(); ++i) {
+    EXPECT_EQ(classic[i].config.seed, classic_default[i].config.seed);
+    EXPECT_EQ(classic[i].trace.seed, classic_default[i].trace.seed);
+    EXPECT_EQ(classic[i].trace.seed, base.trace.seed);
+  }
+}
+
+TEST(Replicate, VaryTraceSeedRejectsPinnedSnapshot) {
+  ReplicationSpec base = small_spec(7);
+  base.snapshot = std::make_shared<const trace::TraceSnapshot>(
+      trace::generate_snapshot(base.trace));
+  ReplicateOptions options;
+  options.vary_trace_seed = true;
+  EXPECT_THROW((void)replicate(base, 3, options), std::invalid_argument);
+}
+
+TEST(ExperimentRunner, VaryTraceSeedProducesDistinctRunsDeterministically) {
+  ReplicationSpec base = small_spec(31);
+  ReplicateOptions options;
+  options.vary_trace_seed = true;
+  const auto specs = replicate(base, 3, options);
+
+  const ExperimentRunner serial(1);
+  const ExperimentRunner pool(8);
+  const auto a = serial.run_all(specs);
+  const auto b = pool.run_all(specs);
+  ASSERT_EQ(a.size(), 3u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(stats_equal(a[i].stats, b[i].stats))
+        << "jobs-invariance must hold with per-replication topologies";
+    EXPECT_GT(a[i].stats.segments_delivered, 0u);
+  }
+  // Distinct topologies actually produce distinct sessions.
+  EXPECT_FALSE(stats_equal(a[0].stats, a[1].stats));
+  EXPECT_FALSE(stats_equal(a[1].stats, a[2].stats));
+}
+
 // The acceptance bar: same specs => bit-identical per-seed results at
 // jobs=1 and jobs=8, in the same (spec) order.
 TEST(ExperimentRunner, JobsInvariantDeterminism) {

@@ -47,6 +47,8 @@ struct CliOptions {
   std::string scenario;
   std::string trace_path;
   std::string csv_path;
+  std::string csv_mode = "first";  // first | per-rep | long
+  bool vary_trace_seed = false;
   unsigned jobs = 0;          // 0 = hardware concurrency
   std::size_t replications = 1;
   bool list_scenarios = false;
@@ -75,9 +77,16 @@ void print_usage(const char* argv0) {
       "  --trace-seed S     trace generator seed (default 1)\n"
       "  --replications R   independent replications, seeds derived from --seed\n"
       "                     (default 1)\n"
+      "  --vary-trace-seed  also derive a fresh trace seed per replication, so\n"
+      "                     each one runs on its own topology\n"
       "  --jobs N           worker threads for the replication sweep\n"
       "                     (default 0 = all hardware threads)\n"
-      "  --csv FILE         dump per-round series as CSV (first replication)\n"
+      "  --csv FILE         dump per-round series as CSV\n"
+      "  --csv-mode MODE    what --csv writes for multi-replication runs:\n"
+      "                       first   series of replication 0 only (default)\n"
+      "                       per-rep one file per replication: <out>.rep<k>.csv\n"
+      "                       long    one merged long-format file with a\n"
+      "                               leading 'replication' column\n"
       "  --quiet            print only the final summary line\n"
       "  --help             this text\n",
       argv0);
@@ -168,6 +177,17 @@ void print_usage(const char* argv0) {
       const char* v = next();
       if (!v) return std::nullopt;
       opt.csv_path = v;
+    } else if (arg == "--csv-mode") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.csv_mode = v;
+      if (opt.csv_mode != "first" && opt.csv_mode != "per-rep" &&
+          opt.csv_mode != "long") {
+        std::fprintf(stderr, "unknown --csv-mode '%s' (first|per-rep|long)\n", v);
+        return std::nullopt;
+      }
+    } else if (arg == "--vary-trace-seed") {
+      opt.vary_trace_seed = true;
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else {
@@ -267,9 +287,20 @@ int main(int argc, char** argv) {
   // When scenario-driven, the scenario fixes workload shape AND horizons;
   // the CLI's --seed still picks the replication seed stream.
   runner::ReplicationSpec spec = base_spec(opt);
-  if (opt.replications > 1 && !spec.snapshot) {
-    // replicate() never varies the trace, so build the snapshot once and
-    // share it instead of regenerating it in every worker.
+  if (opt.vary_trace_seed) {
+    if (opt.replications <= 1) {
+      std::fprintf(stderr, "--vary-trace-seed needs --replications > 1\n");
+      return 1;
+    }
+    if (spec.snapshot) {
+      std::fprintf(stderr,
+                   "--vary-trace-seed conflicts with --trace (the loaded "
+                   "snapshot pins the topology)\n");
+      return 1;
+    }
+  } else if (opt.replications > 1 && !spec.snapshot) {
+    // With a fixed trace seed the topology is shared: build the snapshot
+    // once instead of regenerating it in every worker.
     spec.snapshot = std::make_shared<const trace::TraceSnapshot>(
         trace::generate_snapshot(spec.trace));
   }
@@ -277,9 +308,11 @@ int main(int argc, char** argv) {
       spec.snapshot ? spec.snapshot->node_count() : spec.trace.node_count;
 
   const runner::ExperimentRunner pool(opt.jobs);
+  runner::ReplicateOptions rep_options;
+  rep_options.vary_trace_seed = opt.vary_trace_seed;
   const auto specs = opt.replications == 1
                          ? std::vector<runner::ReplicationSpec>{spec}
-                         : runner::replicate(spec, opt.replications);
+                         : runner::replicate(spec, opt.replications, rep_options);
   const auto experiment = pool.run_experiment(specs);
   const auto& first = experiment.runs.front();
 
@@ -350,8 +383,44 @@ int main(int argc, char** argv) {
   }
 
   if (!opt.csv_path.empty()) {
-    first.collector.write_csv(opt.csv_path);
-    if (!opt.quiet) std::printf("series CSV        : %s\n", opt.csv_path.c_str());
+    if (opt.csv_mode == "per-rep" && opt.replications > 1) {
+      // One file per replication: <out>.rep<k>.csv (a trailing .csv on
+      // the given path becomes the stem).
+      std::string stem = opt.csv_path;
+      if (stem.size() > 4 && stem.compare(stem.size() - 4, 4, ".csv") == 0) {
+        stem.erase(stem.size() - 4);
+      }
+      for (std::size_t k = 0; k < experiment.runs.size(); ++k) {
+        const std::string path = stem + ".rep" + std::to_string(k) + ".csv";
+        experiment.runs[k].collector.write_csv(path);
+        if (!opt.quiet) std::printf("series CSV        : %s\n", path.c_str());
+      }
+    } else if (opt.csv_mode == "long" && opt.replications > 1) {
+      // Merged long format: replication,series,time,value.
+      std::FILE* f = std::fopen(opt.csv_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", opt.csv_path.c_str());
+        return 1;
+      }
+      std::fprintf(f, "replication,series,time,value\n");
+      for (std::size_t k = 0; k < experiment.runs.size(); ++k) {
+        const auto& collector = experiment.runs[k].collector;
+        for (const auto& name : collector.names()) {
+          for (const auto& sample : collector.series(name)) {
+            std::fprintf(f, "%zu,%s,%.6f,%.10g\n", k, name.c_str(), sample.time,
+                         sample.value);
+          }
+        }
+      }
+      std::fclose(f);
+      if (!opt.quiet) {
+        std::printf("series CSV        : %s (long format, %zu replications)\n",
+                    opt.csv_path.c_str(), experiment.runs.size());
+      }
+    } else {
+      first.collector.write_csv(opt.csv_path);
+      if (!opt.quiet) std::printf("series CSV        : %s\n", opt.csv_path.c_str());
+    }
   }
   return 0;
 }

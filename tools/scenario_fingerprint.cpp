@@ -1,0 +1,118 @@
+// scenario_fingerprint — determinism oracle for the simulation engine.
+//
+// Runs every named scenario from the shared matrix at a fixed
+// (seed, config, trace) and prints one line per scenario containing
+// every SessionStats counter, the headline metrics at full precision,
+// and an FNV-1a hash folded over the raw bits of every per-round
+// series sample. Two builds produce identical output iff their
+// engines execute bit-identical sessions — diff the output across an
+// engine change to prove nothing drifted.
+//
+//   scenario_fingerprint [--seed S] [--only NAME[,NAME...]]
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "metrics/collector.hpp"
+#include "runner/experiment_runner.hpp"
+#include "runner/scenario.hpp"
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_mix(std::uint64_t& hash, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= kFnvPrime;
+  }
+}
+
+[[nodiscard]] std::uint64_t series_hash(const continu::runner::ReplicationResult& run) {
+  std::uint64_t hash = kFnvOffset;
+  for (const auto& round : run.continuity.rounds()) {
+    fnv_mix(hash, &round.time, sizeof(round.time));
+    fnv_mix(hash, &round.continuous_nodes, sizeof(round.continuous_nodes));
+    fnv_mix(hash, &round.counted_nodes, sizeof(round.counted_nodes));
+  }
+  for (const auto& name : run.collector.names()) {
+    fnv_mix(hash, name.data(), name.size());
+    for (const auto& sample : run.collector.series(name)) {
+      fnv_mix(hash, &sample.time, sizeof(sample.time));
+      fnv_mix(hash, &sample.value, sizeof(sample.value));
+    }
+  }
+  return hash;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace continu;
+
+  std::uint64_t seed = 42;
+  std::vector<std::string> only;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
+      std::string list = argv[++i];
+      std::size_t pos = 0;
+      while (pos != std::string::npos) {
+        const std::size_t comma = list.find(',', pos);
+        std::string name =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        if (!name.empty()) only.push_back(std::move(name));
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--seed S] [--only NAME[,NAME...]]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  // Unknown --only names are an error, not a silent skip: a renamed
+  // scenario must fail the CI fingerprint step, not vacuously pass it.
+  for (const auto& name : only) {
+    if (!runner::find_scenario(name).has_value()) {
+      std::fprintf(stderr, "unknown scenario '%s' in --only\n", name.c_str());
+      return 1;
+    }
+  }
+
+  for (const auto& scenario : runner::scenario_matrix()) {
+    if (!only.empty()) {
+      bool wanted = false;
+      for (const auto& name : only) wanted = wanted || name == scenario.name;
+      if (!wanted) continue;
+    }
+    const auto spec = runner::spec_for(scenario, seed);
+    const auto run = runner::ExperimentRunner::run_one(spec);
+    const auto& s = run.stats;
+    std::printf(
+        "%s seed=%" PRIu64
+        " emitted=%" PRIu64 " delivered=%" PRIu64 " dup=%" PRIu64 " req=%" PRIu64
+        " booked=%" PRIu64 " refused=%" PRIu64 " cand=%" PRIu64 " unassigned=%" PRIu64
+        " pf_launch=%" PRIu64 " pf_ok=%" PRIu64 " pf_norep=%" PRIu64 " pf_supp=%" PRIu64
+        " pushed=%" PRIu64 " dht_msg=%" PRIu64 " dht_fail=%" PRIu64
+        " joins=%" PRIu64 " leave_g=%" PRIu64 " leave_a=%" PRIu64
+        " repl=%" PRIu64 " timeouts=%" PRIu64
+        " continuity=%.17g index=%.17g ctrl=%.17g pf_oh=%.17g alive=%zu hash=%016" PRIx64
+        "\n",
+        scenario.name.c_str(), seed, s.segments_emitted, s.segments_delivered,
+        s.duplicate_deliveries, s.requests_sent, s.segments_booked, s.segments_refused,
+        s.candidates_seen, s.candidates_unassigned, s.prefetch_launched,
+        s.prefetch_succeeded, s.prefetch_no_replica, s.prefetch_suppressed,
+        s.segments_pushed, s.dht_route_messages, s.dht_route_failures, s.joins,
+        s.graceful_leaves, s.abrupt_leaves, s.neighbor_replacements, s.transfer_timeouts,
+        run.stable_continuity, run.continuity_index, run.control_overhead,
+        run.prefetch_overhead, run.alive_at_end, series_hash(run));
+    std::fflush(stdout);
+  }
+  return 0;
+}
