@@ -16,15 +16,21 @@ int main() {
 
   bench::print_header("Figure 11", "pre-fetch overhead vs overlay size");
 
+  // The static/dynamic pairs per size are the fig11 scenario family;
+  // both members of a pair share one snapshot.
   const std::vector<std::size_t> sizes = {100, 500, 1000, 2000, 4000, 8000};
   std::vector<runner::ReplicationSpec> specs;
   for (const std::size_t n : sizes) {
+    const auto static_scenario =
+        bench::require_scenario("fig11_static_" + std::to_string(n));
+    const auto dynamic_scenario =
+        bench::require_scenario("fig11_dynamic_" + std::to_string(n));
     const auto snapshot = std::make_shared<const continu::trace::TraceSnapshot>(
-        bench::standard_trace(n, 600 + n));
-    specs.push_back(
-        bench::snapshot_spec(bench::standard_config(n, 23, false), snapshot, "static"));
-    specs.push_back(
-        bench::snapshot_spec(bench::standard_config(n, 23, true), snapshot, "dynamic"));
+        trace::generate_snapshot(static_scenario.make_trace()));
+    specs.push_back(bench::snapshot_spec(static_scenario.make_config(23), snapshot,
+                                         "static"));
+    specs.push_back(bench::snapshot_spec(dynamic_scenario.make_config(23), snapshot,
+                                         "dynamic"));
   }
   const auto results = bench::run_batch(specs);
 

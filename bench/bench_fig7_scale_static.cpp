@@ -19,14 +19,17 @@ int main() {
                       "stable continuity vs overlay size, static environment");
 
   // Build the whole sweep up front — (6 sizes x 2 systems) — and let the
-  // runner shard it across cores. Each size's snapshot is built once and
+  // runner shard it across cores. The size grid lives in the scenario
+  // matrix as the fig7 family; each size's snapshot is built once and
   // shared by the continu/cool pair.
   const std::vector<std::size_t> sizes = {100, 500, 1000, 2000, 4000, 8000};
   std::vector<runner::ReplicationSpec> specs;
   for (const std::size_t n : sizes) {
-    const auto config = bench::standard_config(n, 11, /*churn=*/false);
+    const auto scenario =
+        bench::require_scenario("fig7_static_" + std::to_string(n));
+    const auto config = scenario.make_config(11);
     const auto snapshot = std::make_shared<const continu::trace::TraceSnapshot>(
-        bench::standard_trace(n, 300 + n));
+        trace::generate_snapshot(scenario.make_trace()));
     specs.push_back(bench::snapshot_spec(config, snapshot, "continu"));
     specs.push_back(bench::snapshot_spec(config.as_coolstreaming(), snapshot, "cool"));
   }

@@ -16,12 +16,15 @@ int main() {
   bench::print_header("Figure 8",
                       "stable continuity vs overlay size, dynamic environment");
 
+  // The size grid is the fig8 scenario family (5% churn per period).
   const std::vector<std::size_t> sizes = {100, 500, 1000, 2000, 4000, 8000};
   std::vector<runner::ReplicationSpec> specs;
   for (const std::size_t n : sizes) {
-    const auto config = bench::standard_config(n, 13, /*churn=*/true);
+    const auto scenario =
+        bench::require_scenario("fig8_dynamic_" + std::to_string(n));
+    const auto config = scenario.make_config(13);
     const auto snapshot = std::make_shared<const continu::trace::TraceSnapshot>(
-        bench::standard_trace(n, 400 + n));
+        trace::generate_snapshot(scenario.make_trace()));
     specs.push_back(bench::snapshot_spec(config, snapshot, "continu"));
     specs.push_back(bench::snapshot_spec(config.as_coolstreaming(), snapshot, "cool"));
   }

@@ -20,12 +20,13 @@ int main() {
   const std::vector<std::size_t> sizes = {100, 500, 1000, 2000, 4000};
   const std::vector<std::size_t> fanouts = {4, 5, 6};
 
+  // The (size x fan-out) grid is the fig9 scenario family.
   std::vector<runner::ReplicationSpec> specs;
   for (const std::size_t n : sizes) {
     for (const std::size_t m : fanouts) {
-      auto config = bench::standard_config(n, 17, /*churn=*/false);
-      config.connected_neighbors = m;
-      specs.push_back(bench::standard_spec(config, n, 500 + n + m));
+      const auto scenario = bench::require_scenario(
+          "fig9_m" + std::to_string(m) + "_" + std::to_string(n));
+      specs.push_back(runner::spec_for(scenario, 17));
     }
   }
   const auto results = bench::run_batch(specs);

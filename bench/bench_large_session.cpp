@@ -60,16 +60,33 @@ int main(int argc, char** argv) {
 
   const std::uint64_t events = session.simulator().executed();
   const std::size_t peak = session.simulator().peak_pending();
+  // Per-node memory footprint, sampled at end of run — for static
+  // scenarios that IS the steady-state peak (stream buffers saturate
+  // within one capacity window and stay full). This is the record the
+  // 100k-node sizing works from: which per-node container dominates.
+  const auto memory = session.memory_footprint();
   std::fprintf(stderr,
                "  %s: %.2fs wall, %" PRIu64 " events (%.0f events/s), peak queue %zu\n",
                name.c_str(), wall, events, static_cast<double>(events) / wall, peak);
+  std::fprintf(stderr,
+               "  memory: %.0f B/node (buffers %zu KiB, neighbors %zu KiB, "
+               "dht %zu KiB, inflight %zu KiB)\n",
+               memory.per_node_bytes(), memory.buffer_bytes >> 10,
+               memory.neighbor_bytes >> 10, memory.dht_bytes >> 10,
+               memory.inflight_bytes >> 10);
   std::printf(
       "{\"bench\": \"large_session\", \"scenario\": \"%s\", \"nodes\": %zu, "
       "\"duration\": %.1f, \"seed\": %" PRIu64 ", \"wall_seconds\": %.3f, "
       "\"events\": %" PRIu64 ", \"events_per_sec\": %.1f, "
-      "\"peak_queue_depth\": %zu, \"hardware_concurrency\": %u}\n",
+      "\"peak_queue_depth\": %zu, \"hardware_concurrency\": %u, "
+      "\"memory\": {\"measured_at\": \"end_of_run\", \"measured_nodes\": %zu, "
+      "\"per_node_bytes\": %.1f, \"buffer_bytes\": %zu, "
+      "\"neighbor_bytes\": %zu, \"dht_bytes\": %zu, \"inflight_bytes\": %zu, "
+      "\"total_bytes\": %zu}}\n",
       name.c_str(), scenario.node_count, spec.duration, seed, wall, events,
       static_cast<double>(events) / wall, peak,
-      std::thread::hardware_concurrency());
+      std::thread::hardware_concurrency(), memory.nodes,
+      memory.per_node_bytes(), memory.buffer_bytes, memory.neighbor_bytes,
+      memory.dht_bytes, memory.inflight_bytes, memory.total_bytes());
   return 0;
 }

@@ -92,6 +92,18 @@ struct SystemConfig {
 
   // --- run control ---------------------------------------------------------
   std::uint64_t seed = 42;
+  /// Intra-session worker threads for the fork/join round executor.
+  /// 1 = serial (inline shards), 0 = all hardware threads. Results are
+  /// bit-identical for EVERY value — the parallel engine derives
+  /// per-tick RNG streams and merges stats/emissions in fixed shard
+  /// order, so threads only changes wall-clock time.
+  unsigned threads = 1;
+  /// Round-phase quantization: node-round phases are drawn from this
+  /// many evenly spaced buckets across the jitter range, so nodes in
+  /// the same bucket tick at the same instant and form a RoundScheduler
+  /// batch the executor can shard. 0 = continuous phases (every batch
+  /// is a single node; parallel execution degenerates to serial).
+  unsigned round_phase_buckets = 32;
 
   /// Convenience: mean inbound rate (the lambda of Section 5.1). The
   /// rate distribution is a truncated exponential on [min, max] with

@@ -82,6 +82,7 @@ class Node {
   [[nodiscard]] dht::BackupStore& backup() noexcept { return backup_; }
   [[nodiscard]] const dht::BackupStore& backup() const noexcept { return backup_; }
   [[nodiscard]] RateController& rates() noexcept { return rates_; }
+  [[nodiscard]] const RateController& rates() const noexcept { return rates_; }
   [[nodiscard]] UrgentLine& urgent_line() noexcept { return urgent_line_; }
   [[nodiscard]] const UrgentLine& urgent_line() const noexcept { return urgent_line_; }
 
@@ -129,6 +130,23 @@ class Node {
   /// answered — it died mid-request or evicted the segment). Returns
   /// the affected segment ids so the scheduler may retry them.
   std::vector<SegmentId> expire_transfers(SimTime cutoff);
+
+  /// Estimated footprint of the transfer/prefetch bookkeeping maps —
+  /// memory sizing. Charges hash buckets plus per-entry node overhead.
+  [[nodiscard]] std::size_t approx_inflight_bytes() const noexcept {
+    constexpr std::size_t kHashNodeOverhead = 2 * sizeof(void*);
+    const auto map_bytes = [](std::size_t buckets, std::size_t entries,
+                              std::size_t value_size) {
+      return buckets * sizeof(void*) +
+             entries * (value_size + kHashNodeOverhead);
+    };
+    return map_bytes(inflight_.bucket_count(), inflight_.size(),
+                     sizeof(std::pair<SegmentId, InflightTransfer>)) +
+           map_bytes(prefetch_pending_.bucket_count(), prefetch_pending_.size(),
+                     sizeof(std::pair<SegmentId, SimTime>)) +
+           map_bytes(prefetch_tags_.bucket_count(), prefetch_tags_.size(),
+                     sizeof(std::pair<SegmentId, bool>));
+  }
 
   // --- playback-round bookkeeping -------------------------------------------
   /// Round statistics updated by the session each period.

@@ -78,6 +78,13 @@ constexpr std::size_t kUrgentHead = 4;
 /// aggregate demand under churn permanently exceeds capacity.
 constexpr SegmentId kLookaheadSegments = 150;
 
+/// Fork/join shard grains. Fixed constants — NEVER derived from the
+/// thread count — so the shard structure (and with it the merge order
+/// of stats deltas, FP accumulations and deferred emissions) is
+/// identical at every thread count.
+constexpr std::size_t kPlanGrain = 32;    ///< round-plan items per shard
+constexpr std::size_t kSweepGrain = 256;  ///< per-node sweep items per shard
+
 }  // namespace
 
 std::uint64_t fit_id_space(std::uint64_t configured, std::size_t nodes) {
@@ -97,8 +104,12 @@ Session::Session(const SystemConfig& config, const trace::TraceSnapshot& snapsho
       rp_(space_, util::Rng(config.seed ^ 0x5250ULL)),
       churn_(config.churn, util::Rng(config.seed ^ 0xC4u)),
       rng_(config.seed),
+      // ParallelExecutor resolves 0 to hardware_concurrency itself.
+      exec_(config.threads),
       rounds_(sim_, config.scheduling_period,
               [this](std::size_t user) { on_round_tick(user); }) {
+  rounds_.set_batch_tick(
+      [this](const std::vector<std::size_t>& users) { on_round_batch(users); });
   network_.set_delivery_filter([this](std::size_t to) { return alive_index(to); });
   // Self-calibrate t_hop from the trace (the paper: "t_hop is ... an
   // approximate estimation from our simulation experience"). Drives the
@@ -232,6 +243,29 @@ void Session::populate_initial_dht() {
   }
 }
 
+SimTime Session::round_phase(util::Rng& rng) const {
+  const double tau = config_.scheduling_period;
+  const unsigned buckets = config_.round_phase_buckets;
+  const SimTime now = sim_.now();
+  if (buckets == 0) {
+    return now + rng.next_range(kPhaseLo, kPhaseHi) * tau;  // continuous
+  }
+  // Quantized: nodes sharing a bucket tick at the SAME instant, so
+  // RoundScheduler batches them and the executor has something to
+  // shard. Buckets span [kPhaseLo, kPhaseHi) — strictly before the
+  // churn phase (0.95 tau) and the sampler (period boundary), so a
+  // batch is never a mix of node rounds and reserved ticks.
+  const auto bucket = static_cast<double>(rng.next_below(buckets));
+  SimTime tick = (kPhaseLo + (kPhaseHi - kPhaseLo) * bucket / buckets) * tau;
+  // A joiner must land on its bucket's ABSOLUTE grid, advanced with the
+  // exact accumulation arithmetic the cohort's recurring ticks use
+  // (next = fired + period) — phase + k*tau computed directly can miss
+  // the cohort's instant by an ulp, which would fragment batches into
+  // per-churn-tick singletons and serialize the plan phase under churn.
+  while (tick <= now) tick += tau;
+  return tick;
+}
+
 void Session::start_processes() {
   const double tau = config_.scheduling_period;
   const double emit_period = 1.0 / static_cast<double>(config_.playback_rate);
@@ -241,8 +275,7 @@ void Session::start_processes() {
   emit_process_->start(emit_period);
 
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    round_handles_.push_back(
-        rounds_.add(rng_.next_range(kPhaseLo, kPhaseHi) * tau, i));
+    round_handles_.push_back(rounds_.add_at(round_phase(rng_), i));
   }
 
   // The metrics sampler and churn planner share the scheduling period;
@@ -261,6 +294,50 @@ void Session::on_round_tick(std::size_t user) {
   } else {
     on_node_round(user);
   }
+}
+
+void Session::on_round_batch(const std::vector<std::size_t>& users) {
+  // Reserved ticks ride phases of their own (phase construction keeps
+  // them out of node-round instants); if a config ever mixes them into
+  // one batch, fall back to strict serial dispatch — still
+  // deterministic, batch content does not depend on thread count.
+  for (const std::size_t user : users) {
+    if (user == kSampleTickUser || user == kChurnTickUser) {
+      for (const std::size_t u : users) on_round_tick(u);
+      return;
+    }
+  }
+  run_round_batch(users);
+}
+
+void Session::run_round_batch(const std::vector<std::size_t>& users) {
+  // Phase 1 — prepare: serial, batch (= add) order.
+  for (const std::size_t user : users) round_prepare(user);
+
+  // Phase 2 — plan: forked across shards. Shard structure depends only
+  // on (batch size, kPlanGrain), so per-shard buffers merge in an
+  // order no thread count can change.
+  const std::size_t n = users.size();
+  const std::size_t shards =
+      sim::parallel::ParallelExecutor::shard_count(n, kPlanGrain);
+  plans_.assign(n, RoundPlan{});
+  shard_stats_.assign(shards, SessionStats{});
+  if (shard_emissions_.size() < shards) shard_emissions_.resize(shards);
+  exec_.for_shards(n, kPlanGrain,
+                   [this, &users](std::size_t s, std::size_t begin, std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                       round_plan(users[i], plans_[i], shard_stats_[s],
+                                  shard_emissions_[s]);
+                     }
+                   });
+
+  // Join — ordered reduction: stats deltas, then deferred emissions
+  // (event seq numbers come out exactly as serial execution's).
+  sim::parallel::reduce_in_order(shard_stats_, stats_);
+  for (std::size_t s = 0; s < shards; ++s) shard_emissions_[s].flush_into(sim_);
+
+  // Phase 3 — commit: serial, batch order.
+  for (std::size_t i = 0; i < n; ++i) round_commit(users[i], plans_[i]);
 }
 
 void Session::run(SimTime duration) { sim_.run_until(duration); }
@@ -322,10 +399,28 @@ void Session::on_source_emit() {
 // --------------------------------------------------------------------------
 
 void Session::on_node_round(std::size_t index) {
+  // Serial fallback (mixed batches): the SAME three phases the batched
+  // path runs, composed inline for one node.
+  round_prepare(index);
+  RoundPlan plan;
+  SessionStats delta;
+  sim::parallel::EmissionBuffer emissions;
+  round_plan(index, plan, delta, emissions);
+  stats_ += delta;
+  emissions.flush_into(sim_);
+  round_commit(index, plan);
+}
+
+void Session::round_prepare(std::size_t index) {
   Node& node = *nodes_[index];
   if (!node.alive()) return;
   const SimTime now = sim_.now();
   const double tau = config_.scheduling_period;
+  // Per-tick RNG stream: every draw a round makes comes from
+  // (session seed, tick time, node id), never from the shared session
+  // generator — rounds are RNG-independent of each other, which is what
+  // lets the plan phase fork without reproducing a shared draw order.
+  util::Rng tick_rng = util::Rng::for_tick(config_.seed, now, node.id());
 
   node.neighbors().fold_supply();
   repair_neighbors(node);
@@ -350,25 +445,57 @@ void Session::on_node_round(std::size_t index) {
     maybe_start_playback(node);
   }
 
-  exchange_buffer_maps(node);
+  exchange_buffer_maps(node, tick_rng);
+}
+
+void Session::round_plan(std::size_t index, RoundPlan& plan, SessionStats& stats,
+                         sim::parallel::EmissionBuffer& emissions) {
+  Node& node = *nodes_[index];
+  // Reads only state that is STABLE for the whole batch: this node's
+  // own post-prepare state and other nodes' buffers/liveness (mutated
+  // only by transfer deliveries and churn, which are separate events).
+  // All writes go to the per-shard `stats`/`emissions` buffers and to
+  // `plan`, which lives in a slot only this shard touches.
+  if (!node.alive() || node.is_source()) return;
+
+  std::uint64_t seen = 0;
+  plan.scheduled = plan_scheduling(node, /*budget_fraction=*/1.0, plan.sched, seen);
+  stats.candidates_seen += seen;
+  if (plan.scheduled) {
+    stats.candidates_unassigned += plan.sched.unassigned;
+    stats.segments_booked += plan.sched.assignments.size();
+  }
+
+  if (config_.scheduler == SchedulerKind::kContinuStreaming) {
+    PrefetchPlan prefetch =
+        plan_prefetch(node, plan.scheduled ? &plan.sched : nullptr);
+    if (prefetch.suppressed) ++stats.prefetch_suppressed;
+    plan.prefetch = std::move(prefetch.launch);
+  }
+
+  // Mid-round top-up: re-book whatever was refused or newly became
+  // available. (The scheduling PERIOD governs buffer-map exchange;
+  // failed pulls retry as soon as the refusal is known, as any
+  // TCP-based puller would.) Uses a reduced quota so the round's
+  // total stays near I*tau. Deferred: the emission itself must not
+  // touch the queue from a worker shard.
+  emissions.defer_at(sim_.now() + 0.5 * config_.scheduling_period, [this, index] {
+    Node& retry = *nodes_[index];
+    if (retry.alive() && !retry.is_source()) {
+      run_scheduling(retry, /*budget_fraction=*/0.4);
+    }
+  });
+}
+
+void Session::round_commit(std::size_t index, RoundPlan& plan) {
+  Node& node = *nodes_[index];
+  if (!node.alive()) return;
 
   if (!node.is_source()) {
-    run_scheduling(node);
-    if (config_.scheduler == SchedulerKind::kContinuStreaming) {
-      run_prefetch(node);
+    if (plan.scheduled) commit_scheduling(node, plan.sched);
+    for (const SegmentId id : plan.prefetch) {
+      launch_prefetch(index, id);
     }
-    // Mid-round top-up: re-book whatever was refused or newly became
-    // available. (The scheduling PERIOD governs buffer-map exchange;
-    // failed pulls retry as soon as the refusal is known, as any
-    // TCP-based puller would.) Uses a reduced quota so the round's
-    // total stays near I*tau.
-    const std::size_t index = node.session_index();
-    sim_.schedule_in(0.5 * config_.scheduling_period, [this, index] {
-      Node& retry = *nodes_[index];
-      if (retry.alive() && !retry.is_source()) {
-        run_scheduling(retry, /*budget_fraction=*/0.4);
-      }
-    });
   }
 
   refresh_dht_peers(node);
@@ -486,7 +613,7 @@ void Session::maybe_start_playback(Node& node) {
   node.buffer().start_playback(anchor, sim_.now());
 }
 
-void Session::exchange_buffer_maps(Node& node) {
+void Session::exchange_buffer_maps(Node& node, util::Rng& tick_rng) {
   // One 620-bit buffer map to each alive neighbor per round. The
   // content travels as a charge-only message: the scheduler reads the
   // neighbor's availability directly (fresh map), which is equivalent
@@ -507,7 +634,7 @@ void Session::exchange_buffer_maps(Node& node) {
     network_.charge_only(MessageType::kJoinNotify, 2 * 48);
     const auto peer_neighbors = peer.neighbors().ids();
     for (int pick = 0; pick < 2 && !peer_neighbors.empty(); ++pick) {
-      const NodeId heard = peer_neighbors[rng_.next_below(peer_neighbors.size())];
+      const NodeId heard = peer_neighbors[tick_rng.next_below(peer_neighbors.size())];
       if (heard == node.id()) continue;
       const auto hidx = alive_node_by_id(heard);
       if (!hidx.has_value()) continue;
@@ -517,7 +644,8 @@ void Session::exchange_buffer_maps(Node& node) {
   }
 }
 
-void Session::run_scheduling(Node& node, double budget_fraction) {
+bool Session::plan_scheduling(const Node& node, double budget_fraction,
+                              ScheduleResult& out, std::uint64_t& seen) const {
   const SimTime now = sim_.now();
   const double tau = config_.scheduling_period;
 
@@ -537,7 +665,7 @@ void Session::run_scheduling(Node& node, double budget_fraction) {
     if (!newest.has_value()) continue;
     views.push_back(NeighborView{*idx, id, node.rates().estimate(id), *newest});
   }
-  if (views.empty()) return;
+  if (views.empty()) return false;
 
   // Candidate range: from just past the play point (or the neighbors'
   // oldest coverage before playback starts) to the freshest segment any
@@ -590,7 +718,7 @@ void Session::run_scheduling(Node& node, double budget_fraction) {
   // queue model enforces actual absorption; transfer_pending prevents
   // double-booking, so no further subtraction is needed here.
   const double budget_raw = node.inbound_rate() * tau * budget_fraction;
-  if (budget_raw < 1.0) return;
+  if (budget_raw < 1.0) return false;
   request.inbound_budget = static_cast<std::size_t>(budget_raw);
   // No per-supplier cap: Algorithm 1's queue-time term is the paper's
   // own limiter, and the frontier (e.g. the source's neighbors pulling
@@ -617,17 +745,30 @@ void Session::run_scheduling(Node& node, double budget_fraction) {
     }
     if (request.candidates.size() >= kMaxCandidates) break;
   }
-  if (request.candidates.empty()) return;
+  if (request.candidates.empty()) return false;
+  seen = request.candidates.size();
 
   // GridMedia's pull half uses the same rarest-first rule as the
   // CoolStreaming baseline; pushes handle the fresh edge.
-  const ScheduleResult result = (config_.scheduler == SchedulerKind::kContinuStreaming)
-                                    ? schedule_continu(request)
-                                    : schedule_coolstreaming(request);
-  stats_.candidates_seen += request.candidates.size();
+  out = (config_.scheduler == SchedulerKind::kContinuStreaming)
+            ? schedule_continu(request)
+            : schedule_coolstreaming(request);
+  return true;
+}
+
+void Session::run_scheduling(Node& node, double budget_fraction) {
+  ScheduleResult result;
+  std::uint64_t seen = 0;
+  const bool planned = plan_scheduling(node, budget_fraction, result, seen);
+  stats_.candidates_seen += seen;
+  if (!planned) return;
   stats_.candidates_unassigned += result.unassigned;
   stats_.segments_booked += result.assignments.size();
+  commit_scheduling(node, result);
+}
 
+void Session::commit_scheduling(Node& node, const ScheduleResult& result) {
+  const SimTime now = sim_.now();
   // Group assignments per supplier into one pull request each.
   std::unordered_map<NodeId, std::vector<SegmentId>> per_supplier;
   for (const auto& assignment : result.assignments) {
@@ -842,10 +983,12 @@ void Session::push_relay(Node& node, SegmentId id) {
 // On-demand data retrieval (Algorithm 2)
 // --------------------------------------------------------------------------
 
-void Session::run_prefetch(Node& node) {
+Session::PrefetchPlan Session::plan_prefetch(const Node& node,
+                                             const ScheduleResult* planned) const {
+  PrefetchPlan plan;
   const SimTime now = sim_.now();
   const auto& buffer = node.buffer();
-  if (!buffer.started()) return;  // no deadlines to protect yet
+  if (!buffer.started()) return plan;  // no deadlines to protect yet
 
   // The urgent region starts just past the play point (the "head" of
   // the unplayed buffer in Figure 4's sense).
@@ -866,24 +1009,35 @@ void Session::run_prefetch(Node& node) {
   const SegmentId imminent =
       head + static_cast<SegmentId>(std::ceil(
                  static_cast<double>(config_.playback_rate) * t_fetch)) + 1;
+  // A segment the SAME round's scheduling plan just booked is not yet
+  // in transfer_pending (bookings commit after the plan join), so
+  // consult the plan directly — reproducing the serial rule that a
+  // freshly booked non-imminent segment is not "predicted missed".
+  const auto booked_in_plan = [planned](SegmentId id) {
+    if (planned == nullptr) return false;
+    for (const auto& assignment : planned->assignments) {
+      if (assignment.segment == id) return true;
+    }
+    return false;
+  };
   std::vector<SegmentId> missed;
   for (const SegmentId id : buffer.missing_in(head, limit)) {
     if (node.prefetch_pending(id)) continue;
-    if (id >= imminent && node.transfer_pending(id)) continue;
+    if (id >= imminent && (node.transfer_pending(id) || booked_in_plan(id))) {
+      continue;
+    }
     missed.push_back(id);
   }
 
   const std::size_t quota = prefetch_quota(missed.size(), config_.prefetch_limit);
-  if (quota == 0 && !missed.empty()) ++stats_.prefetch_suppressed;
+  if (quota == 0 && !missed.empty()) plan.suppressed = true;
   // Pre-fetch shares the inbound rate with the scheduler: skip when the
   // downlink is already saturated with scheduled arrivals.
   const double backlog_s = std::max(0.0, node.downlink_free_at() - now);
-  if (backlog_s > 0.5 * config_.scheduling_period) return;
+  if (backlog_s > 0.5 * config_.scheduling_period) return plan;
 
-  for (std::size_t i = 0; i < quota; ++i) {
-    launch_prefetch(node.session_index(), missed[i]);
-  }
-  (void)now;
+  plan.launch.assign(missed.begin(), missed.begin() + quota);
+  return plan;
 }
 
 void Session::launch_prefetch(std::size_t origin, SegmentId segment) {
@@ -1048,14 +1202,22 @@ void Session::on_churn_tick() {
     kill_node(index, /*graceful=*/false);
   }
 
-  // Abandon in-flight transfers sourced from the departed.
+  // Abandon in-flight transfers sourced from the departed. The sweep is
+  // per-receiver-node independent (each node mutates only its own
+  // in-flight table), so it shards across the executor — the serial
+  // mass of a churn tick at 8000 nodes is this O(N) scan.
   if (!dead_ids.empty()) {
-    for (const auto& node : nodes_) {
-      if (!node->alive()) continue;
-      for (const NodeId dead : dead_ids) {
-        node->drop_transfers_from(dead);
-      }
-    }
+    exec_.for_shards(nodes_.size(), kSweepGrain,
+                     [this, &dead_ids](std::size_t, std::size_t begin,
+                                       std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         Node& node = *nodes_[i];
+                         if (!node.alive()) continue;
+                         for (const NodeId dead : dead_ids) {
+                           node.drop_transfers_from(dead);
+                         }
+                       }
+                     });
   }
 
   for (std::size_t j = 0; j < batch.joins; ++j) {
@@ -1174,8 +1336,7 @@ void Session::do_join() {
   index_of_[id] = index;
   nodes_.push_back(std::move(node));
 
-  round_handles_.push_back(rounds_.add(
-      rng_.next_range(kPhaseLo, kPhaseHi) * config_.scheduling_period, index));
+  round_handles_.push_back(rounds_.add_at(round_phase(rng_), index));
 }
 
 // --------------------------------------------------------------------------
@@ -1184,26 +1345,61 @@ void Session::do_join() {
 
 void Session::on_sample_tick() {
   const SimTime now = sim_.now();
-  std::uint64_t continuous = 0;
-  std::uint64_t counted = 0;
-  std::uint64_t played_total = 0;
-  std::uint64_t due_total = 0;
-  double alpha_sum = 0.0;
-  std::uint64_t alpha_count = 0;
 
-  for (const auto& node : nodes_) {
-    if (!node->alive() || node->is_source()) continue;
-    ++counted;
-    auto& rs = node->round_stats();
-    if (node->buffer().started() && rs.missed == 0 && rs.played > 0) {
-      ++continuous;
+  // Sharded ordered reduction over all nodes. Each shard accumulates
+  // privately (the only cross-node write is resetting a node's OWN
+  // round stats); partials merge in shard order, so the alpha_sum
+  // floating-point chain is fixed by (node count, grain) alone and the
+  // sample is bit-identical at every thread count.
+  struct SampleAccum {
+    std::uint64_t continuous = 0;
+    std::uint64_t counted = 0;
+    std::uint64_t played = 0;
+    std::uint64_t due = 0;
+    std::uint64_t alpha_count = 0;
+    std::uint64_t alive = 0;
+    double alpha_sum = 0.0;
+    SampleAccum& operator+=(const SampleAccum& rhs) noexcept {
+      continuous += rhs.continuous;
+      counted += rhs.counted;
+      played += rhs.played;
+      due += rhs.due;
+      alpha_count += rhs.alpha_count;
+      alive += rhs.alive;
+      alpha_sum += rhs.alpha_sum;
+      return *this;
     }
-    played_total += rs.played;
-    due_total += rs.played + rs.missed;
-    rs = Node::RoundStats{};
-    alpha_sum += node->urgent_line().alpha();
-    ++alpha_count;
-  }
+  };
+  const std::size_t n = nodes_.size();
+  std::vector<SampleAccum> partials(
+      sim::parallel::ParallelExecutor::shard_count(n, kSweepGrain));
+  exec_.for_shards(n, kSweepGrain,
+                   [this, &partials](std::size_t s, std::size_t begin,
+                                     std::size_t end) {
+                     SampleAccum& acc = partials[s];
+                     for (std::size_t i = begin; i < end; ++i) {
+                       Node& node = *nodes_[i];
+                       if (!node.alive()) continue;
+                       ++acc.alive;
+                       if (node.is_source()) continue;
+                       ++acc.counted;
+                       auto& rs = node.round_stats();
+                       if (node.buffer().started() && rs.missed == 0 &&
+                           rs.played > 0) {
+                         ++acc.continuous;
+                       }
+                       acc.played += rs.played;
+                       acc.due += rs.played + rs.missed;
+                       rs = Node::RoundStats{};
+                       acc.alpha_sum += node.urgent_line().alpha();
+                       ++acc.alpha_count;
+                     }
+                   });
+  SampleAccum total;
+  sim::parallel::reduce_in_order(partials, total);
+
+  const std::uint64_t continuous = total.continuous;
+  const std::uint64_t counted = total.counted;
   continuity_.record_round(now, continuous, counted);
   collector_.record("continuity", now,
                     counted == 0 ? 0.0
@@ -1214,11 +1410,12 @@ void Session::on_sample_tick() {
   // Always >= the paper's strict node-level metric — recorded so the
   // two can be compared directly (see bench_fig5/6 and EXPERIMENTS.md).
   collector_.record("continuity_index", now,
-                    due_total == 0 ? 0.0
-                                   : static_cast<double>(played_total) /
-                                         static_cast<double>(due_total));
-  if (alpha_count > 0) {
-    collector_.record("alpha_mean", now, alpha_sum / static_cast<double>(alpha_count));
+                    total.due == 0 ? 0.0
+                                   : static_cast<double>(total.played) /
+                                         static_cast<double>(total.due));
+  if (total.alpha_count > 0) {
+    collector_.record("alpha_mean", now,
+                      total.alpha_sum / static_cast<double>(total.alpha_count));
   }
 
   // Per-round overhead deltas and cumulative ratios.
@@ -1228,8 +1425,25 @@ void Session::on_sample_tick() {
   collector_.record("prefetch_overhead_round", now, delta.prefetch_overhead());
   collector_.record("control_overhead_cumulative", now, traffic.control_overhead());
   collector_.record("prefetch_overhead_cumulative", now, traffic.prefetch_overhead());
-  collector_.record("alive_nodes", now, static_cast<double>(alive_count()));
+  collector_.record("alive_nodes", now, static_cast<double>(total.alive));
   last_traffic_snapshot_ = traffic;
+}
+
+// --------------------------------------------------------------------------
+// Memory footprint (sizing toward the 100k-node goal)
+// --------------------------------------------------------------------------
+
+MemoryFootprint Session::memory_footprint() const {
+  MemoryFootprint fp;
+  fp.nodes = nodes_.size();
+  for (const auto& node : nodes_) {
+    fp.buffer_bytes += sizeof(StreamBuffer) + node->buffer().window().approx_bytes();
+    fp.neighbor_bytes +=
+        node->neighbors().approx_bytes() + node->overheard().approx_bytes();
+    fp.dht_bytes += node->dht_peers().approx_bytes() + node->backup().approx_bytes();
+    fp.inflight_bytes += node->approx_inflight_bytes();
+  }
+  return fp;
 }
 
 }  // namespace continu::core

@@ -28,6 +28,8 @@
 #include "net/network.hpp"
 #include "overlay/churn.hpp"
 #include "overlay/rendezvous.hpp"
+#include "sim/parallel/deferred.hpp"
+#include "sim/parallel/executor.hpp"
 #include "sim/round_scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "trace/trace.hpp"
@@ -59,9 +61,30 @@ struct SessionStats {
   std::uint64_t transfer_timeouts = 0;
 };
 
-/// Element-wise sum — merging counters across experiment replications.
+/// Element-wise sum — merging counters across experiment replications
+/// (and, inside a session, merging per-shard stats deltas in shard
+/// order after a fork/join round batch).
 SessionStats& operator+=(SessionStats& lhs, const SessionStats& rhs) noexcept;
 [[nodiscard]] SessionStats operator+(SessionStats lhs, const SessionStats& rhs) noexcept;
+
+/// Estimated per-node state footprint, for sizing large sessions (the
+/// 100k-node goal): where the bytes live once buffers saturate.
+/// Estimates count container capacity, not malloc overhead.
+struct MemoryFootprint {
+  std::size_t nodes = 0;           ///< nodes measured (alive and dead)
+  std::size_t buffer_bytes = 0;    ///< stream buffers (BitWindow words)
+  std::size_t neighbor_bytes = 0;  ///< neighbor sets + overheard lists
+  std::size_t dht_bytes = 0;       ///< peer tables + VoD backup stores
+  std::size_t inflight_bytes = 0;  ///< transfer/prefetch bookkeeping maps
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    return buffer_bytes + neighbor_bytes + dht_bytes + inflight_bytes;
+  }
+  [[nodiscard]] double per_node_bytes() const noexcept {
+    return nodes == 0 ? 0.0
+                      : static_cast<double>(total_bytes()) /
+                            static_cast<double>(nodes);
+  }
+};
 
 class Session {
  public:
@@ -84,6 +107,12 @@ class Session {
     return network_.traffic();
   }
   [[nodiscard]] const SessionStats& stats() const noexcept { return stats_; }
+  /// Current per-node state footprint (see MemoryFootprint). For static
+  /// scenarios the end-of-run value is the steady-state peak: buffers
+  /// saturate within one capacity window and stay full.
+  [[nodiscard]] MemoryFootprint memory_footprint() const;
+  /// Resolved intra-session worker thread count.
+  [[nodiscard]] unsigned threads() const noexcept { return exec_.threads(); }
 
   // --- introspection -----------------------------------------------------
   [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
@@ -118,17 +147,66 @@ class Session {
   [[nodiscard]] double sample_ping();
 
   // --- per-round behaviour ------------------------------------------------
+  //
+  // A node round is split into three phases at the RoundScheduler batch
+  // boundary (all ticks due at one instant):
+  //   prepare — mutation-heavy maintenance (neighbor repair, buffer-map
+  //             exchange, playback); serial, batch order; draws from a
+  //             per-tick RNG stream, never the shared session RNG;
+  //   plan    — the expensive read-only half (candidate building,
+  //             Algorithm 1 / rarest-first, prefetch target selection);
+  //             forked across the executor's shards, stats deltas and
+  //             event emissions buffered per shard;
+  //   commit  — applies plans (transfer bookkeeping, network sends, DHT
+  //             prefetch launches); serial, batch order, after the
+  //             shard buffers merged in shard order.
+  // The same three-phase path runs at every thread count, so results
+  // are bit-identical for threads = 1, 2, 4, 8.
   void on_source_emit();
   /// RoundScheduler dispatch: `user` is a node index or a reserved tag.
   void on_round_tick(std::size_t user);
   void on_node_round(std::size_t index);
+  /// Batch dispatch (RoundScheduler batch callback).
+  void on_round_batch(const std::vector<std::size_t>& users);
+  void run_round_batch(const std::vector<std::size_t>& users);
+
+  /// Plan computed by the parallel phase of a round batch.
+  struct RoundPlan {
+    bool scheduled = false;  ///< sched holds a valid plan
+    ScheduleResult sched;
+    std::vector<SegmentId> prefetch;  ///< quota-capped launch list
+  };
+  struct PrefetchPlan {
+    std::vector<SegmentId> launch;
+    bool suppressed = false;  ///< case 3: N_miss > l
+  };
+
+  void round_prepare(std::size_t index);
+  void round_plan(std::size_t index, RoundPlan& plan, SessionStats& stats,
+                  sim::parallel::EmissionBuffer& emissions);
+  void round_commit(std::size_t index, RoundPlan& plan);
+
   void repair_neighbors(Node& node);
   void do_playback(Node& node);
   void maybe_start_playback(Node& node);
-  void exchange_buffer_maps(Node& node);
+  void exchange_buffer_maps(Node& node, util::Rng& tick_rng);
+  /// Read-only planning half of a scheduling round. Returns false when
+  /// nothing is schedulable; `seen` reports candidates considered.
+  [[nodiscard]] bool plan_scheduling(const Node& node, double budget_fraction,
+                                     ScheduleResult& out, std::uint64_t& seen) const;
+  void commit_scheduling(Node& node, const ScheduleResult& result);
+  /// Fused plan+commit, for the mid-round top-up retry (event context).
   void run_scheduling(Node& node, double budget_fraction = 1.0);
-  void run_prefetch(Node& node);
+  /// Read-only prefetch target selection; `planned` is this round's
+  /// scheduling plan (its bookings are not yet in transfer_pending).
+  [[nodiscard]] PrefetchPlan plan_prefetch(const Node& node,
+                                           const ScheduleResult* planned) const;
   void refresh_dht_peers(Node& node);
+  /// Draws a round phase and returns the ABSOLUTE first-tick instant:
+  /// the next occurrence of the drawn bucket's grid time (joiners merge
+  /// bit-exactly into an existing cohort's batch). See
+  /// SystemConfig::round_phase_buckets.
+  [[nodiscard]] SimTime round_phase(util::Rng& rng) const;
   /// GridMedia-style relay: push a freshly received segment onward.
   void push_relay(Node& node, SegmentId id);
 
@@ -171,6 +249,8 @@ class Session {
   overlay::RendezvousServer rp_;
   overlay::ChurnPlanner churn_;
   util::Rng rng_;
+  /// Fork/join worker pool for round batches and per-period sweeps.
+  sim::parallel::ParallelExecutor exec_;
 
   /// Reserved RoundScheduler tags for the session-wide per-period
   /// ticks batched alongside the node rounds.
@@ -185,6 +265,13 @@ class Session {
   std::vector<sim::RoundScheduler::Handle> round_handles_;
   std::unique_ptr<sim::PeriodicProcess> emit_process_;
   std::unordered_map<NodeId, std::size_t> index_of_;
+
+  /// Fork/join scratch, reused across batches. plans_ is indexed by
+  /// batch position (each shard writes a disjoint range); the shard-
+  /// indexed buffers merge in shard order after the join.
+  std::vector<RoundPlan> plans_;
+  std::vector<SessionStats> shard_stats_;
+  std::vector<sim::parallel::EmissionBuffer> shard_emissions_;
 
   SegmentId emitted_ = 0;
   SessionStats stats_;

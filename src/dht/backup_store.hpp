@@ -52,6 +52,14 @@ class BackupStore {
 
   [[nodiscard]] std::vector<SegmentId> contents() const;
 
+  /// Estimated footprint — memory sizing. A red-black tree node costs
+  /// roughly 3 pointers + color + the key on top of the payload.
+  [[nodiscard]] std::size_t approx_bytes() const noexcept {
+    constexpr std::size_t kTreeNodeOverhead = 4 * sizeof(void*);
+    return sizeof(*this) +
+           segments_.size() * (sizeof(SegmentId) + kTreeNodeOverhead);
+  }
+
  private:
   const IdSpace* space_;
   NodeId owner_;

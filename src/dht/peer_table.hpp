@@ -58,6 +58,11 @@ class PeerTable {
   /// Invariant check: every populated slot's peer lies in its level arc.
   [[nodiscard]] bool invariants_hold() const;
 
+  /// Estimated footprint (slot capacity) — memory sizing.
+  [[nodiscard]] std::size_t approx_bytes() const noexcept {
+    return sizeof(*this) + slots_.capacity() * sizeof(std::optional<DhtPeer>);
+  }
+
  private:
   const IdSpace* space_;
   NodeId owner_;

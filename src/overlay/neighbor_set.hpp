@@ -57,6 +57,11 @@ class NeighborSet {
 
   [[nodiscard]] std::optional<Neighbor> get(NodeId id) const;
 
+  /// Estimated footprint (vector capacity) — memory sizing.
+  [[nodiscard]] std::size_t approx_bytes() const noexcept {
+    return sizeof(*this) + neighbors_.capacity() * sizeof(Neighbor);
+  }
+
  private:
   std::size_t capacity_;
   std::vector<Neighbor> neighbors_;

@@ -40,6 +40,12 @@ class OverheardList {
   [[nodiscard]] const std::deque<OverheardNode>& entries() const noexcept { return entries_; }
   [[nodiscard]] bool contains(NodeId id) const noexcept;
 
+  /// Estimated footprint — memory sizing. Deques allocate in blocks;
+  /// the estimate charges live entries only.
+  [[nodiscard]] std::size_t approx_bytes() const noexcept {
+    return sizeof(*this) + entries_.size() * sizeof(OverheardNode);
+  }
+
  private:
   std::size_t capacity_;
   std::deque<OverheardNode> entries_;  // front = most recent

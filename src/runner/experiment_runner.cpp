@@ -47,10 +47,19 @@ ReplicationSpec spec_for(const Scenario& scenario, std::uint64_t seed) {
   return spec;
 }
 
-ExperimentRunner::ExperimentRunner(unsigned jobs) : jobs_(jobs) {
-  if (jobs_ == 0) {
-    jobs_ = std::thread::hardware_concurrency();
-    if (jobs_ == 0) jobs_ = 1;
+ExperimentRunner::ExperimentRunner(unsigned jobs, unsigned session_threads)
+    : jobs_(jobs), session_threads_(session_threads) {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  const unsigned per_session = std::max(1u, session_threads_);
+  if (per_session > 1) {
+    // Arbitrate: replication workers multiply the intra-session pool,
+    // so cap jobs at hw / threads (the explicit intra-session width
+    // keeps what it asked for; replication sharding absorbs the cut).
+    const unsigned fit = std::max(1u, hw / per_session);
+    jobs_ = jobs_ == 0 ? fit : std::min(jobs_, fit);
+  } else if (jobs_ == 0) {
+    jobs_ = hw;
   }
 }
 
@@ -85,10 +94,21 @@ std::vector<ReplicationResult> ExperimentRunner::run_all(
   std::vector<ReplicationResult> results(specs.size());
   if (specs.empty()) return results;
 
+  // Intra-session width override (0 = each spec keeps its own). The
+  // threads value never changes results, only which cores execute a
+  // session's round batches.
+  const unsigned session_threads = session_threads_;
+  const auto run_spec = [session_threads](const ReplicationSpec& spec) {
+    if (session_threads == 0) return run_one(spec);
+    ReplicationSpec overridden = spec;  // snapshot ptr copy is cheap
+    overridden.config.threads = session_threads;
+    return run_one(overridden);
+  };
+
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(jobs_, specs.size()));
   if (workers <= 1) {
-    for (std::size_t i = 0; i < specs.size(); ++i) results[i] = run_one(specs[i]);
+    for (std::size_t i = 0; i < specs.size(); ++i) results[i] = run_spec(specs[i]);
     return results;
   }
 
@@ -99,10 +119,10 @@ std::vector<ReplicationResult> ExperimentRunner::run_all(
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&specs, &results, &errors, w, workers] {
+    pool.emplace_back([&specs, &results, &errors, &run_spec, w, workers] {
       try {
         for (std::size_t i = w; i < specs.size(); i += workers) {
-          results[i] = run_one(specs[i]);
+          results[i] = run_spec(specs[i]);
         }
       } catch (...) {
         errors[w] = std::current_exception();
@@ -119,6 +139,44 @@ std::vector<ReplicationResult> ExperimentRunner::run_all(
 ExperimentResult ExperimentRunner::run_experiment(
     const std::vector<ReplicationSpec>& specs) const {
   return aggregate(run_all(specs));
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_mix(std::uint64_t& hash, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t result_fingerprint(const ReplicationResult& run) {
+  std::uint64_t hash = kFnvOffset;
+  fnv_mix(hash, &run.stats, sizeof(run.stats));
+  fnv_mix(hash, &run.stable_continuity, sizeof(run.stable_continuity));
+  fnv_mix(hash, &run.continuity_index, sizeof(run.continuity_index));
+  fnv_mix(hash, &run.control_overhead, sizeof(run.control_overhead));
+  fnv_mix(hash, &run.prefetch_overhead, sizeof(run.prefetch_overhead));
+  fnv_mix(hash, &run.alive_at_end, sizeof(run.alive_at_end));
+  for (const auto& round : run.continuity.rounds()) {
+    fnv_mix(hash, &round.time, sizeof(round.time));
+    fnv_mix(hash, &round.continuous_nodes, sizeof(round.continuous_nodes));
+    fnv_mix(hash, &round.counted_nodes, sizeof(round.counted_nodes));
+  }
+  for (const auto& name : run.collector.names()) {
+    fnv_mix(hash, name.data(), name.size());
+    for (const auto& sample : run.collector.series(name)) {
+      fnv_mix(hash, &sample.time, sizeof(sample.time));
+      fnv_mix(hash, &sample.value, sizeof(sample.value));
+    }
+  }
+  return hash;
 }
 
 ExperimentResult ExperimentRunner::aggregate(std::vector<ReplicationResult> runs) {

@@ -104,9 +104,19 @@ struct ReplicateOptions {
 class ExperimentRunner {
  public:
   /// jobs = 0 picks std::thread::hardware_concurrency() (min 1).
-  explicit ExperimentRunner(unsigned jobs = 0);
+  ///
+  /// `session_threads` is the intra-session fork/join width (see
+  /// SystemConfig::threads): 0 leaves each spec's own config.threads
+  /// untouched; > 0 overrides every spec. With session_threads > 1 the
+  /// runner ARBITRATES the core budget between the two parallelism
+  /// layers: jobs is clamped so jobs x session_threads stays within
+  /// hardware_concurrency (the intra-session width wins — the caller
+  /// dialed it explicitly), and jobs = 0 resolves to the largest count
+  /// that fits. Results never depend on either knob.
+  explicit ExperimentRunner(unsigned jobs = 0, unsigned session_threads = 0);
 
   [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
+  [[nodiscard]] unsigned session_threads() const noexcept { return session_threads_; }
 
   /// Runs every spec, sharded across the pool; results in spec order.
   /// Identical output for any jobs value. First worker exception is
@@ -126,6 +136,14 @@ class ExperimentRunner {
 
  private:
   unsigned jobs_ = 1;
+  unsigned session_threads_ = 0;
 };
+
+/// FNV-1a fingerprint over a replication's full observable output:
+/// every SessionStats counter, the continuity track and every collector
+/// series, by raw bit pattern. Two runs are engine-bit-identical iff
+/// their fingerprints (and stats) match — the oracle behind the
+/// threads/jobs-invariance checks in tools, benches and tests.
+[[nodiscard]] std::uint64_t result_fingerprint(const ReplicationResult& run);
 
 }  // namespace continu::runner

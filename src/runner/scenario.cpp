@@ -13,6 +13,7 @@ core::SystemConfig Scenario::make_config(std::uint64_t seed) const {
   config.prefetch_limit = prefetch_limit;
   config.connected_neighbors = connected_neighbors;
   config.heterogeneous_bandwidth = heterogeneous_bandwidth;
+  config.playback_rate = playback_rate;
   if (churn) {
     config.churn_enabled = true;
     config.churn.leave_fraction = churn_fraction;
@@ -20,6 +21,27 @@ core::SystemConfig Scenario::make_config(std::uint64_t seed) const {
     config.churn.graceful_fraction = graceful_fraction;
   }
   return config;
+}
+
+Scenario Scenario::with(const ScenarioOverrides& o, std::string derived_name) const {
+  Scenario s = *this;
+  s.name = std::move(derived_name);
+  if (o.node_count) s.node_count = *o.node_count;
+  if (o.churn) s.churn = *o.churn;
+  if (o.churn_fraction) {
+    s.churn_fraction = *o.churn_fraction;
+    s.churn = *o.churn_fraction > 0.0;  // rate implies the toggle
+  }
+  if (o.graceful_fraction) s.graceful_fraction = *o.graceful_fraction;
+  if (o.playback_rate) s.playback_rate = *o.playback_rate;
+  if (o.connected_neighbors) s.connected_neighbors = *o.connected_neighbors;
+  if (o.backup_replicas) s.backup_replicas = *o.backup_replicas;
+  if (o.prefetch_limit) s.prefetch_limit = *o.prefetch_limit;
+  if (o.scheduler) s.scheduler = *o.scheduler;
+  if (o.trace_seed) s.trace_seed = *o.trace_seed;
+  if (o.duration) s.duration = *o.duration;
+  if (o.stable_from) s.stable_from = *o.stable_from;
+  return s;
 }
 
 trace::GeneratorConfig Scenario::make_trace() const {
@@ -155,6 +177,59 @@ namespace {
   return m;
 }
 
+/// The fig7/8/9/11 sweep grids as named family members, derived from a
+/// neutral base via ScenarioOverrides. Trace seeds reproduce the grids
+/// the benches used to build inline (300/400/500/600 + n [+ m]), so
+/// folding the benches onto the families changed no workload.
+[[nodiscard]] std::vector<Scenario> build_families() {
+  std::vector<Scenario> families;
+  Scenario base;  // paper-standard defaults
+
+  const std::vector<std::size_t> sizes = {100, 500, 1000, 2000, 4000, 8000};
+
+  base.description = "fig7 family: static continuity vs overlay size";
+  for (const std::size_t n : sizes) {
+    ScenarioOverrides o;
+    o.node_count = n;
+    o.trace_seed = 300 + n;
+    families.push_back(base.with(o, "fig7_static_" + std::to_string(n)));
+  }
+
+  base.description = "fig8 family: dynamic continuity vs overlay size (5% churn)";
+  for (const std::size_t n : sizes) {
+    ScenarioOverrides o;
+    o.node_count = n;
+    o.churn = true;
+    o.trace_seed = 400 + n;
+    families.push_back(base.with(o, "fig8_dynamic_" + std::to_string(n)));
+  }
+
+  base.description = "fig9 family: control overhead vs overlay size, M in {4,5,6}";
+  for (const std::size_t n : {std::size_t{100}, std::size_t{500}, std::size_t{1000},
+                              std::size_t{2000}, std::size_t{4000}}) {
+    for (const std::size_t m : {std::size_t{4}, std::size_t{5}, std::size_t{6}}) {
+      ScenarioOverrides o;
+      o.node_count = n;
+      o.connected_neighbors = m;
+      o.trace_seed = 500 + n + m;
+      families.push_back(base.with(
+          o, "fig9_m" + std::to_string(m) + "_" + std::to_string(n)));
+    }
+  }
+
+  base.description = "fig11 family: pre-fetch overhead vs overlay size";
+  for (const std::size_t n : sizes) {
+    ScenarioOverrides o;
+    o.node_count = n;
+    o.trace_seed = 600 + n;
+    families.push_back(base.with(o, "fig11_static_" + std::to_string(n)));
+    o.churn = true;
+    families.push_back(base.with(o, "fig11_dynamic_" + std::to_string(n)));
+  }
+
+  return families;
+}
+
 }  // namespace
 
 const std::vector<Scenario>& scenario_matrix() {
@@ -162,18 +237,33 @@ const std::vector<Scenario>& scenario_matrix() {
   return matrix;
 }
 
+const std::vector<Scenario>& scenario_families() {
+  static const std::vector<Scenario> families = build_families();
+  return families;
+}
+
 std::optional<Scenario> find_scenario(const std::string& name) {
+  const auto by_name = [&name](const Scenario& s) { return s.name == name; };
   const auto& m = scenario_matrix();
-  const auto it = std::find_if(m.begin(), m.end(),
-                               [&name](const Scenario& s) { return s.name == name; });
-  if (it == m.end()) return std::nullopt;
-  return *it;
+  const auto it = std::find_if(m.begin(), m.end(), by_name);
+  if (it != m.end()) return *it;
+  const auto& f = scenario_families();
+  const auto fit = std::find_if(f.begin(), f.end(), by_name);
+  if (fit != f.end()) return *fit;
+  return std::nullopt;
 }
 
 std::vector<std::string> scenario_names() {
   std::vector<std::string> names;
   names.reserve(scenario_matrix().size());
   for (const auto& s : scenario_matrix()) names.push_back(s.name);
+  return names;
+}
+
+std::vector<std::string> all_scenario_names() {
+  std::vector<std::string> names = scenario_names();
+  names.reserve(names.size() + scenario_families().size());
+  for (const auto& s : scenario_families()) names.push_back(s.name);
   return names;
 }
 

@@ -35,6 +35,10 @@ struct Scenario {
   std::size_t connected_neighbors = 5;
   bool heterogeneous_bandwidth = true;
 
+  // --- stream -------------------------------------------------------------
+  /// Playback rate p in segments/second (the paper's 300 Kbps stream).
+  std::uint64_t playback_rate = 10;
+
   // --- trace --------------------------------------------------------------
   std::uint64_t trace_seed = 1;
   double average_degree = 2.5;
@@ -48,15 +52,51 @@ struct Scenario {
 
   /// Trace generator configuration (deterministic in trace_seed).
   [[nodiscard]] trace::GeneratorConfig make_trace() const;
+
+  /// Derived scenario: this one with `overrides` applied and renamed.
+  /// The building block of parameterized scenario families.
+  [[nodiscard]] Scenario with(const struct ScenarioOverrides& overrides,
+                              std::string derived_name) const;
+};
+
+/// Field-level override set for deriving a family member from a base
+/// scenario: every field that the figure sweeps vary (node count, churn
+/// rate, stream rate, fan-out, trace seed, ...). Unset fields keep the
+/// base value.
+struct ScenarioOverrides {
+  std::optional<std::size_t> node_count;
+  std::optional<bool> churn;
+  std::optional<double> churn_fraction;
+  std::optional<double> graceful_fraction;
+  std::optional<std::uint64_t> playback_rate;  ///< stream rate
+  std::optional<std::size_t> connected_neighbors;
+  std::optional<unsigned> backup_replicas;
+  std::optional<unsigned> prefetch_limit;
+  std::optional<core::SchedulerKind> scheduler;
+  std::optional<std::uint64_t> trace_seed;
+  std::optional<double> duration;
+  std::optional<double> stable_from;
 };
 
 /// The canonical scenario matrix. Stable names; append-only across PRs.
 [[nodiscard]] const std::vector<Scenario>& scenario_matrix();
 
-/// Lookup by name; std::nullopt when unknown.
+/// Parameterized scenario FAMILIES: the fig7/8/9/11 sweep grids as
+/// named scenarios ("fig7_static_2000", "fig9_m5_500", ...), derived
+/// from matrix bases via ScenarioOverrides. Kept separate from the
+/// matrix so full-matrix sweeps (the fingerprint oracle, smoke tests)
+/// stay bounded; find_scenario() resolves both.
+[[nodiscard]] const std::vector<Scenario>& scenario_families();
+
+/// Lookup by name across the matrix AND the families; std::nullopt
+/// when unknown.
 [[nodiscard]] std::optional<Scenario> find_scenario(const std::string& name);
 
 /// All scenario names, matrix order (for --list-scenarios style output).
 [[nodiscard]] std::vector<std::string> scenario_names();
+
+/// Every resolvable name: matrix order, then family order (for
+/// diagnostics and exhaustive sweeps).
+[[nodiscard]] std::vector<std::string> all_scenario_names();
 
 }  // namespace continu::runner

@@ -52,6 +52,13 @@ EventId EventQueue::push(SimTime time, EventAction action) {
   return id;
 }
 
+void EventQueue::push_all(std::vector<Deferred>& batch) {
+  for (Deferred& deferred : batch) {
+    (void)push(deferred.time, std::move(deferred.action));
+  }
+  batch.clear();
+}
+
 void EventQueue::remove_top() noexcept {
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   heap_.pop_back();

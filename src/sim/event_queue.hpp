@@ -78,6 +78,22 @@ class EventQueue {
     return id;
   }
 
+  /// Deferred-emission record: a (time, action) pair captured OFF the
+  /// queue. Worker shards of a fork/join phase must not touch the queue
+  /// (sequence numbers are global mutable state), so they buffer their
+  /// emissions as Deferred entries and the join pushes each shard's
+  /// buffer in shard order — reproducing exactly the sequence-number
+  /// assignment serial execution would have produced.
+  struct Deferred {
+    SimTime time = 0.0;
+    EventAction action;
+  };
+
+  /// Pushes every deferred emission in order (sequence numbers are
+  /// assigned here, at push time) and clears the batch. Entries with an
+  /// empty action are rejected like any other push.
+  void push_all(std::vector<Deferred>& batch);
+
   /// Pops the earliest live event. Requires !empty().
   [[nodiscard]] Event pop();
 

@@ -1,0 +1,94 @@
+#pragma once
+// ParallelExecutor — deterministic fork/join over a persistent worker
+// pool, the parallel substrate for intra-session execution.
+//
+// The central contract is DETERMINISM BY CONSTRUCTION: for_shards()
+// splits [0, count) into fixed-size shards whose boundaries depend only
+// on (count, grain) — never on the thread count or on scheduling — and
+// the caller merges per-shard results in shard order after the join.
+// Any quantity accumulated per shard (stats deltas, floating-point
+// sums, buffered event emissions) therefore reduces in exactly the same
+// order at threads = 1, 2, 4 or 8, which is what lets a parallel
+// session fingerprint bit-identically to a serial one.
+//
+// Shards are claimed dynamically (a mutex-guarded ticket counter, which
+// at round-batch granularity costs nothing) so a slow shard does not
+// idle the rest of the pool; WHO runs a shard is nondeterministic, but
+// because shards only touch disjoint state and merge order is fixed,
+// that never shows in results.
+//
+// threads == 1 never spawns a pool and runs shards inline — through the
+// SAME decomposition, so the serial path is the parallel path with one
+// worker, not a separate code path that could drift.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace continu::sim::parallel {
+
+class ParallelExecutor {
+ public:
+  /// fn(shard, begin, end): process items [begin, end) of the current
+  /// for_shards() range. `shard` indexes per-shard result buffers.
+  using ShardFn = std::function<void(std::size_t shard, std::size_t begin,
+                                     std::size_t end)>;
+
+  /// threads == 0 resolves to std::thread::hardware_concurrency()
+  /// (minimum 1). The pool persists for the executor's lifetime:
+  /// threads - 1 workers, plus the calling thread which always
+  /// participates in shard execution.
+  explicit ParallelExecutor(unsigned threads = 1);
+  ~ParallelExecutor();
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
+  /// Number of shards for_shards(count, grain, ...) will run — a pure
+  /// function of (count, grain) so callers can pre-size per-shard
+  /// buffers. Thread-count independent by design.
+  [[nodiscard]] static std::size_t shard_count(std::size_t count,
+                                               std::size_t grain) noexcept {
+    if (grain == 0) grain = 1;
+    return (count + grain - 1) / grain;
+  }
+
+  /// Runs fn over every shard of [0, count); returns after ALL shards
+  /// completed (the join). The first shard exception (lowest shard
+  /// index) is rethrown on the calling thread. Reentrant calls from
+  /// inside a shard are not supported.
+  void for_shards(std::size_t count, std::size_t grain, const ShardFn& fn);
+
+ private:
+  void worker_loop();
+  /// Claims and runs shards of the current job until none remain.
+  void run_claims(std::uint64_t job_epoch);
+
+  unsigned threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+
+  // Current job, guarded by mutex_. epoch_ increments per job; workers
+  // verify it on every claim so a late-waking worker can never claim a
+  // shard of a job that already completed (or double-run a new one).
+  std::uint64_t epoch_ = 0;
+  const ShardFn* fn_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t grain_ = 1;
+  std::size_t shards_ = 0;
+  std::size_t next_claim_ = 0;
+  std::size_t completed_ = 0;
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace continu::sim::parallel

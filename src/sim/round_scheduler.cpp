@@ -42,6 +42,11 @@ void RoundScheduler::drop_dead() {
 }
 
 RoundScheduler::Handle RoundScheduler::add(SimTime initial_delay, std::size_t user) {
+  if (initial_delay < 0.0) initial_delay = 0.0;
+  return add_at(sim_.now() + initial_delay, user);
+}
+
+RoundScheduler::Handle RoundScheduler::add_at(SimTime first_tick, std::size_t user) {
   std::uint32_t index;
   if (free_head_ != kNoSlot) {
     index = free_head_;
@@ -53,8 +58,8 @@ RoundScheduler::Handle RoundScheduler::add(SimTime initial_delay, std::size_t us
   Participant& p = parts_[index];
   p.user = user;
   p.alive = true;
-  if (initial_delay < 0.0) initial_delay = 0.0;
-  push_entry(Entry{sim_.now() + initial_delay, next_seq_++, index, p.generation});
+  if (first_tick < sim_.now()) first_tick = sim_.now();
+  push_entry(Entry{first_tick, next_seq_++, index, p.generation});
   ++active_;
   rearm();
   return Handle{index, p.generation};
@@ -87,17 +92,39 @@ void RoundScheduler::fire() {
   // NOT run early — the rearm below re-aims the proxy instead.
   const SimTime due = sim_.now();
   drop_dead();
-  while (!heap_.empty() && heap_.front().time <= due) {
-    const Entry e = pop_entry();
-    if (!entry_live(e)) continue;
-    tick_(parts_[e.slot].user);
-    // The tick may have removed its own participant (or recycled the
-    // slot); only a still-matching generation re-arms the next round.
-    // next = fired + period, the exact arithmetic PeriodicProcess used
-    // (e.time == now for every entry the proxy was armed for).
-    const Participant& p = parts_[e.slot];
-    if (p.alive && p.generation == e.generation) {
-      push_entry(Entry{e.time + period_, next_seq_++, e.slot, e.generation});
+  if (batch_tick_) {
+    // Batch mode: collect every live tick due at this instant (add
+    // order — the heap tie-break), report them in one call, then
+    // re-arm survivors. Seq numbers are assigned after the batch, but
+    // relative order within it matches the interleaved per-tick mode.
+    due_entries_.clear();
+    due_users_.clear();
+    while (!heap_.empty() && heap_.front().time <= due) {
+      const Entry e = pop_entry();
+      if (!entry_live(e)) continue;
+      due_entries_.push_back(e);
+      due_users_.push_back(parts_[e.slot].user);
+    }
+    if (!due_entries_.empty()) batch_tick_(due_users_);
+    for (const Entry& e : due_entries_) {
+      const Participant& p = parts_[e.slot];
+      if (p.alive && p.generation == e.generation) {
+        push_entry(Entry{e.time + period_, next_seq_++, e.slot, e.generation});
+      }
+    }
+  } else {
+    while (!heap_.empty() && heap_.front().time <= due) {
+      const Entry e = pop_entry();
+      if (!entry_live(e)) continue;
+      tick_(parts_[e.slot].user);
+      // The tick may have removed its own participant (or recycled the
+      // slot); only a still-matching generation re-arms the next round.
+      // next = fired + period, the exact arithmetic PeriodicProcess used
+      // (e.time == now for every entry the proxy was armed for).
+      const Participant& p = parts_[e.slot];
+      if (p.alive && p.generation == e.generation) {
+        push_entry(Entry{e.time + period_, next_seq_++, e.slot, e.generation});
+      }
     }
   }
   rearm();

@@ -48,6 +48,23 @@ class RoundScheduler {
   /// fleet — per-participant state stays with the caller.
   RoundScheduler(Simulator& sim, SimTime period,
                  std::function<void(std::size_t user)> tick);
+
+  /// Batch dispatch: with a batch callback installed, every fire
+  /// reports ALL ticks due at the instant in ONE call — the users in
+  /// add() order — instead of one tick() call each. This is the shard
+  /// boundary for intra-session parallelism: the callee may fan the
+  /// batch out across a ParallelExecutor, provided it merges results
+  /// deterministically.
+  ///
+  /// Semantics differences from per-tick mode, both deterministic:
+  ///  * a participant removed by an EARLIER tick of the same batch
+  ///    still appears in the batch (the callee must check liveness);
+  ///    rescheduling honors the removal as usual;
+  ///  * a participant add()ed during the batch with zero initial delay
+  ///    fires via an immediate proxy re-arm rather than inside the
+  ///    current batch.
+  using BatchTick = std::function<void(const std::vector<std::size_t>& users)>;
+  void set_batch_tick(BatchTick batch) { batch_tick_ = std::move(batch); }
   /// Cancels the armed proxy event: a scheduler may die before its
   /// simulator without leaving a dangling [this] action behind.
   ~RoundScheduler();
@@ -57,6 +74,14 @@ class RoundScheduler {
   /// Registers a participant whose first tick runs at
   /// now() + initial_delay (clamped to >= 0), then every period.
   Handle add(SimTime initial_delay, std::size_t user);
+
+  /// Registers a participant whose first tick runs at the ABSOLUTE
+  /// time `first_tick` (clamped to >= now()), then every period. Lets
+  /// a late joiner land on an existing cohort's recurring tick instant
+  /// BIT-exactly (now() + delay round-trips through subtraction and
+  /// would not), so it merges into that cohort's batch instead of
+  /// fragmenting batches into singletons.
+  Handle add_at(SimTime first_tick, std::size_t user);
 
   /// Unregisters a participant in O(1); its pending tick will not run.
   /// Returns true iff the handle was live.
@@ -108,8 +133,12 @@ class RoundScheduler {
   Simulator& sim_;
   SimTime period_;
   std::function<void(std::size_t)> tick_;
+  BatchTick batch_tick_;
   std::vector<Participant> parts_;
   std::vector<Entry> heap_;
+  /// Scratch for batch mode, reused across fires (no per-fire allocs).
+  std::vector<Entry> due_entries_;
+  std::vector<std::size_t> due_users_;
   std::uint32_t free_head_ = kNoSlot;
   std::uint64_t next_seq_ = 1;
   std::size_t active_ = 0;

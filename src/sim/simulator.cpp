@@ -22,6 +22,13 @@ EventId Simulator::schedule_at(SimTime when, EventAction action) {
   return queue_.push(when, std::move(action));
 }
 
+void Simulator::schedule_deferred(std::vector<EventQueue::Deferred>& batch) {
+  for (EventQueue::Deferred& deferred : batch) {
+    if (deferred.time < now_) deferred.time = now_;
+  }
+  queue_.push_all(batch);
+}
+
 std::size_t Simulator::run_until(SimTime horizon) {
   std::size_t ran = 0;
   EventQueue::DueEvent due;

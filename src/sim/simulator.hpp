@@ -54,6 +54,13 @@ class Simulator {
   EventId schedule_in(SimTime delay, EventAction action);
   EventId schedule_at(SimTime when, EventAction action);
 
+  /// Schedules a batch of deferred emissions in order (times clamped to
+  /// >= now()) and clears the batch. This is the merge half of the
+  /// fork/join deferred-emission protocol: shards buffer emissions,
+  /// the join commits each shard's buffer in shard order, and sequence
+  /// numbers come out identical to serial execution.
+  void schedule_deferred(std::vector<EventQueue::Deferred>& batch);
+
   /// Cancels a pending event; returns true iff it was still pending.
   bool cancel(EventId id) noexcept { return queue_.cancel(id); }
 

@@ -68,6 +68,12 @@ class BitWindow {
   static BitWindow from_words(std::size_t capacity, SegmentId head,
                               std::vector<std::uint64_t> words);
 
+  /// Estimated heap footprint (capacity, not live bits) — memory
+  /// sizing for large sessions.
+  [[nodiscard]] std::size_t approx_bytes() const noexcept {
+    return words_.capacity() * sizeof(std::uint64_t);
+  }
+
  private:
   [[nodiscard]] std::size_t offset_of(SegmentId id) const noexcept {
     return static_cast<std::size_t>(id - head_);

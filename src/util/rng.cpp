@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace continu::util {
 
@@ -25,6 +26,25 @@ Rng::Rng(std::uint64_t seed) noexcept {
   for (auto& word : state_) {
     word = splitmix64(s);
   }
+}
+
+Rng Rng::for_tick(std::uint64_t seed, double tick_time, std::uint64_t key) noexcept {
+  std::uint64_t time_bits = 0;
+  static_assert(sizeof(time_bits) == sizeof(tick_time), "SimTime must be 64-bit");
+  std::memcpy(&time_bits, &tick_time, sizeof(time_bits));
+  // Fold each input through its own SplitMix64 round so no two of the
+  // three can cancel by XOR coincidence (e.g. seed == time_bits).
+  // splitmix64 advances `state` in place; the explicit temporaries pin
+  // the advance-then-xor order independent of assignment sequencing
+  // rules (the stream is locked by a golden test).
+  std::uint64_t state = seed;
+  const std::uint64_t round1 = splitmix64(state);
+  state ^= round1;
+  state ^= time_bits;
+  const std::uint64_t round2 = splitmix64(state);
+  state ^= round2;
+  state ^= key;
+  return Rng(splitmix64(state));
 }
 
 std::uint64_t Rng::next_u64() noexcept {

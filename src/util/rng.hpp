@@ -23,6 +23,17 @@ class Rng {
   /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
 
+  /// Derives the per-tick RNG stream for (session seed, tick time,
+  /// participant key) — the parallel engine's replacement for drawing
+  /// from a shared session generator inside node rounds. The mapping is
+  /// a pure SplitMix64 chain over the three inputs (the time enters by
+  /// bit pattern, so any representable SimTime is a distinct input):
+  /// stable across platforms and thread counts, and decorrelated
+  /// between adjacent ticks, nodes and seeds. Two calls with the same
+  /// triple always yield identical streams.
+  [[nodiscard]] static Rng for_tick(std::uint64_t seed, double tick_time,
+                                    std::uint64_t key) noexcept;
+
   /// Next raw 64-bit value.
   [[nodiscard]] std::uint64_t next_u64() noexcept;
 

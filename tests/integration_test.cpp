@@ -96,15 +96,23 @@ TEST(Integration, PrefetchOverheadSmall) {
 }
 
 TEST(Integration, PrefetchOverheadHigherUnderChurn) {
+  // Fig. 11's claim, compared in the stable phase where the startup
+  // transient no longer dominates. At this smoke scale the static
+  // overhead is heavily seed-dependent (a struggling tail of nodes can
+  // lean on pre-fetch for the whole run), so the comparison averages a
+  // few seeds — a single draw sits right at the noise floor of the
+  // 0.7 slack in either direction.
   const auto snapshot = make_trace(250, 25);
-  auto config = base_config(35, 250);
-  const auto static_run = run_session(config, snapshot, 40.0, 20.0);
-  config.churn_enabled = true;
-  const auto dynamic_run = run_session(config, snapshot, 40.0, 20.0);
-  // More segments go missing in dynamic networks, so pre-fetch works
-  // harder (Fig. 11's consistent gap) — compared in the stable phase,
-  // where the startup transient no longer dominates.
-  EXPECT_GE(dynamic_run.prefetch_overhead, static_run.prefetch_overhead * 0.7);
+  double static_mean = 0.0;
+  double dynamic_mean = 0.0;
+  const std::uint64_t seeds[] = {35, 36, 37};
+  for (const std::uint64_t seed : seeds) {
+    auto config = base_config(seed, 250);
+    static_mean += run_session(config, snapshot, 40.0, 20.0).prefetch_overhead;
+    config.churn_enabled = true;
+    dynamic_mean += run_session(config, snapshot, 40.0, 20.0).prefetch_overhead;
+  }
+  EXPECT_GE(dynamic_mean, static_mean * 0.7);
 }
 
 // Failure injection: abrupt mass failure mid-stream.

@@ -1,0 +1,483 @@
+// Tests for the deterministic intra-session parallel executor: per-tick
+// RNG stream derivation, fork/join shard coverage, ordered reductions,
+// the deferred-emission API, RoundScheduler batch dispatch, session
+// threads-invariance, runner core arbitration, CLI validation and the
+// parameterized scenario families.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/session.hpp"
+#include "runner/cli.hpp"
+#include "runner/experiment_runner.hpp"
+#include "runner/scenario.hpp"
+#include "sim/parallel/deferred.hpp"
+#include "sim/parallel/executor.hpp"
+#include "sim/round_scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generator.hpp"
+#include "util/rng.hpp"
+
+namespace continu {
+namespace {
+
+using sim::parallel::EmissionBuffer;
+using sim::parallel::ParallelExecutor;
+
+// ---------------------------------------------------------------------------
+// Per-tick RNG streams
+// ---------------------------------------------------------------------------
+
+TEST(TickRng, MappingIsStable) {
+  // Golden lock-in: the (seed, time, node) -> stream mapping is part of
+  // the engine's determinism contract. Changing it invalidates every
+  // recorded fingerprint, so it must fail a test, not slip through.
+  auto rng = util::Rng::for_tick(42, 1.25, 7);
+  EXPECT_EQ(rng.next_u64(), 1666953718805957629ULL);
+  EXPECT_EQ(rng.next_u64(), 3657286095254846338ULL);
+  EXPECT_EQ(util::Rng::for_tick(0, 0.0, 0).next_u64(), 15465756844587741606ULL);
+}
+
+TEST(TickRng, SameTripleSameStream) {
+  auto a = util::Rng::for_tick(99, 3.75, 1234);
+  auto b = util::Rng::for_tick(99, 3.75, 1234);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(TickRng, AnyComponentChangesStream) {
+  const std::uint64_t base = util::Rng::for_tick(7, 2.5, 11).next_u64();
+  EXPECT_NE(util::Rng::for_tick(8, 2.5, 11).next_u64(), base);
+  EXPECT_NE(util::Rng::for_tick(7, 2.5000000001, 11).next_u64(), base);
+  EXPECT_NE(util::Rng::for_tick(7, 2.5, 12).next_u64(), base);
+}
+
+TEST(TickRng, NoCrossTickCorrelationSmoke) {
+  // Streams of ADJACENT node ids at the same tick, and of the same node
+  // at adjacent ticks, must look unrelated: correlate the first 256
+  // uniforms of each pair and expect |r| well below noise thresholds.
+  const auto correlation = [](util::Rng x, util::Rng y) {
+    constexpr int kN = 256;
+    double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    for (int i = 0; i < kN; ++i) {
+      const double a = x.next_double();
+      const double b = y.next_double();
+      sx += a; sy += b; sxx += a * a; syy += b * b; sxy += a * b;
+    }
+    const double n = kN;
+    const double cov = sxy / n - (sx / n) * (sy / n);
+    const double vx = sxx / n - (sx / n) * (sx / n);
+    const double vy = syy / n - (sy / n) * (sy / n);
+    return cov / std::sqrt(vx * vy);
+  };
+  for (std::uint64_t node = 0; node < 16; ++node) {
+    EXPECT_LT(std::fabs(correlation(util::Rng::for_tick(42, 5.0, node),
+                                    util::Rng::for_tick(42, 5.0, node + 1))),
+              0.25)
+        << "adjacent nodes, node " << node;
+    EXPECT_LT(std::fabs(correlation(util::Rng::for_tick(42, 5.0, node),
+                                    util::Rng::for_tick(42, 6.0, node))),
+              0.25)
+        << "adjacent ticks, node " << node;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ParallelExecutor
+// ---------------------------------------------------------------------------
+
+TEST(ParallelExecutor, ShardCountIsPure) {
+  EXPECT_EQ(ParallelExecutor::shard_count(0, 32), 0u);
+  EXPECT_EQ(ParallelExecutor::shard_count(1, 32), 1u);
+  EXPECT_EQ(ParallelExecutor::shard_count(32, 32), 1u);
+  EXPECT_EQ(ParallelExecutor::shard_count(33, 32), 2u);
+  EXPECT_EQ(ParallelExecutor::shard_count(100, 1), 100u);
+  EXPECT_EQ(ParallelExecutor::shard_count(100, 0), 100u);  // grain 0 -> 1
+}
+
+TEST(ParallelExecutor, EveryItemRunsExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    ParallelExecutor exec(threads);
+    constexpr std::size_t kCount = 1013;  // not a multiple of the grain
+    std::vector<std::atomic<int>> hits(kCount);
+    exec.for_shards(kCount, 16, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "item " << i << " at threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelExecutor, RepeatedJobsOnOnePool) {
+  // The pool persists across jobs; stale workers from earlier jobs must
+  // never double-claim shards of later ones.
+  ParallelExecutor exec(4);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t count = 64 + static_cast<std::size_t>(round) * 7;
+    std::vector<std::atomic<int>> hits(count);
+    exec.for_shards(count, 8, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "round " << round << " item " << i;
+    }
+  }
+}
+
+TEST(ParallelExecutor, OrderedReductionIsThreadCountInvariant) {
+  // The determinism keystone: a floating-point sum accumulated per
+  // shard and merged in shard order is BIT-identical for every thread
+  // count, because the shard structure is fixed by (count, grain).
+  constexpr std::size_t kCount = 2500;
+  constexpr std::size_t kGrain = 64;
+  std::vector<double> values(kCount);
+  util::Rng rng(7);
+  for (auto& v : values) v = rng.next_range(-1.0, 1.0);
+
+  const auto sharded_sum = [&](unsigned threads) {
+    ParallelExecutor exec(threads);
+    std::vector<double> partials(ParallelExecutor::shard_count(kCount, kGrain), 0.0);
+    exec.for_shards(kCount, kGrain,
+                    [&](std::size_t s, std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        partials[s] += values[i];
+                      }
+                    });
+    double total = 0.0;
+    sim::parallel::reduce_in_order(partials, total);
+    return total;
+  };
+
+  const double reference = sharded_sum(1);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    const double total = sharded_sum(threads);
+    EXPECT_EQ(std::memcmp(&total, &reference, sizeof(total)), 0)
+        << "threads " << threads;
+  }
+  // And it agrees with the plain serial chain up to reassociation only.
+  const double serial = std::accumulate(values.begin(), values.end(), 0.0);
+  EXPECT_NEAR(reference, serial, 1e-9);
+}
+
+TEST(ParallelExecutor, ExceptionPropagatesLowestShardFirst) {
+  ParallelExecutor exec(4);
+  try {
+    exec.for_shards(100, 10, [](std::size_t s, std::size_t, std::size_t) {
+      if (s == 3 || s == 7) {
+        throw std::runtime_error("shard " + std::to_string(s));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "shard 3");
+  }
+  // The pool must survive a throwing job.
+  std::atomic<int> ran{0};
+  exec.for_shards(10, 1, [&](std::size_t, std::size_t, std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 10);
+}
+
+// ---------------------------------------------------------------------------
+// Deferred-emission API
+// ---------------------------------------------------------------------------
+
+TEST(DeferredEmissions, MergedBuffersReproduceSerialSequence) {
+  // Two shard buffers merged in shard order must execute in exactly the
+  // order a serial loop over (shard 0 entries, shard 1 entries) would —
+  // including FIFO among equal times, which is what sequence numbers
+  // encode.
+  sim::Simulator sim;
+  std::vector<int> order;
+  EmissionBuffer shard0;
+  EmissionBuffer shard1;
+  shard0.defer_at(1.0, [&order] { order.push_back(0); });
+  shard0.defer_at(2.0, [&order] { order.push_back(1); });
+  shard1.defer_at(1.0, [&order] { order.push_back(2); });  // ties with #0
+  shard1.defer_at(0.5, [&order] { order.push_back(3); });
+  EXPECT_EQ(shard0.size(), 2u);
+  shard0.flush_into(sim);
+  shard1.flush_into(sim);
+  EXPECT_TRUE(shard0.empty());
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{3, 0, 2, 1}));
+}
+
+TEST(DeferredEmissions, PastTimesClampToNow) {
+  sim::Simulator sim;
+  sim.schedule_in(5.0, [] {});
+  sim.run_all();
+  ASSERT_DOUBLE_EQ(sim.now(), 5.0);
+  EmissionBuffer buffer;
+  bool ran = false;
+  buffer.defer_at(1.0, [&ran] { ran = true; });  // in the past
+  buffer.flush_into(sim);
+  sim.run_all();
+  EXPECT_TRUE(ran);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// RoundScheduler batch dispatch
+// ---------------------------------------------------------------------------
+
+TEST(RoundSchedulerBatch, SameInstantTicksArriveAsOneBatch) {
+  sim::Simulator sim;
+  std::vector<std::vector<std::size_t>> batches;
+  sim::RoundScheduler rounds(sim, 1.0, [](std::size_t) { FAIL() << "per-tick"; });
+  rounds.set_batch_tick([&batches](const std::vector<std::size_t>& users) {
+    batches.push_back(users);
+  });
+  rounds.add(0.5, 10);
+  rounds.add(0.5, 20);
+  rounds.add(0.5, 30);
+  rounds.add(0.75, 40);
+  sim.run_until(2.0);
+  // t=0.5: {10,20,30} in add order; t=0.75: {40}; then the same again
+  // one period later.
+  ASSERT_EQ(batches.size(), 4u);
+  EXPECT_EQ(batches[0], (std::vector<std::size_t>{10, 20, 30}));
+  EXPECT_EQ(batches[1], (std::vector<std::size_t>{40}));
+  EXPECT_EQ(batches[2], (std::vector<std::size_t>{10, 20, 30}));
+  EXPECT_EQ(batches[3], (std::vector<std::size_t>{40}));
+}
+
+TEST(RoundSchedulerBatch, RemovalDuringBatchStopsRescheduling) {
+  sim::Simulator sim;
+  sim::RoundScheduler rounds(sim, 1.0, [](std::size_t) {});
+  std::vector<sim::RoundScheduler::Handle> handles;
+  std::vector<std::size_t> seen;
+  rounds.set_batch_tick([&](const std::vector<std::size_t>& users) {
+    for (const std::size_t user : users) {
+      seen.push_back(user);
+      if (user == 1) rounds.remove(handles[2]);  // kill participant 2
+    }
+  });
+  handles.push_back(rounds.add(0.5, 0));
+  handles.push_back(rounds.add(0.5, 1));
+  handles.push_back(rounds.add(0.5, 2));
+  sim.run_until(1.0);
+  // First batch reports all three (removal mid-batch does not retract
+  // an already-collected tick)...
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2}));
+  seen.clear();
+  sim.run_until(2.0);
+  // ...but participant 2 is gone from the next round.
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(rounds.active(), 2u);
+}
+
+TEST(RoundSchedulerBatch, AddAtMergesLateJoinerIntoCohortBatch) {
+  // A participant added mid-run at a cohort's recurring tick instant
+  // (computed with the cohort's own accumulation arithmetic) must land
+  // in the SAME batch — this is what keeps round batches at ~N/buckets
+  // under churn instead of fragmenting into per-join singletons.
+  sim::Simulator sim;
+  std::vector<std::vector<std::size_t>> batches;
+  sim::RoundScheduler rounds(sim, 1.0, [](std::size_t) {});
+  rounds.set_batch_tick([&batches](const std::vector<std::size_t>& users) {
+    batches.push_back(users);
+  });
+  const double phase = 0.3;
+  rounds.add(phase, 1);
+  sim.run_until(5.5);  // cohort ticked at 0.3, 1.3, ..., 5.3
+  // Next cohort instant, by the same next = fired + period accumulation.
+  double tick = phase;
+  while (tick <= sim.now()) tick += 1.0;
+  rounds.add_at(tick, 2);
+  batches.clear();
+  sim.run_until(6.5);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0], (std::vector<std::size_t>{1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Session-level threads invariance
+// ---------------------------------------------------------------------------
+
+TEST(SessionThreads, ResultsBitIdenticalAcrossThreadCounts) {
+  trace::GeneratorConfig tc;
+  tc.node_count = 200;
+  tc.seed = 21;
+  const auto snapshot = trace::generate_snapshot(tc);
+
+  const auto fingerprint_at = [&snapshot](unsigned threads, bool churn) {
+    core::SystemConfig config;
+    config.seed = 42;
+    config.expected_nodes = 200;
+    config.threads = threads;
+    config.churn_enabled = churn;
+    runner::ReplicationSpec spec;
+    spec.config = config;
+    spec.snapshot = std::make_shared<const trace::TraceSnapshot>(snapshot);
+    spec.duration = 25.0;
+    spec.stable_from = 15.0;
+    return runner::result_fingerprint(runner::ExperimentRunner::run_one(spec));
+  };
+
+  for (const bool churn : {false, true}) {
+    const std::uint64_t reference = fingerprint_at(1, churn);
+    for (const unsigned threads : {2u, 4u, 8u}) {
+      EXPECT_EQ(fingerprint_at(threads, churn), reference)
+          << "threads " << threads << " churn " << churn;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runner core arbitration
+// ---------------------------------------------------------------------------
+
+TEST(RunnerThreads, ArbitratesCoreBudget) {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  // Legacy behaviour untouched when intra-session parallelism is off.
+  EXPECT_EQ(runner::ExperimentRunner(0).jobs(), hw);
+  EXPECT_EQ(runner::ExperimentRunner(8).jobs(), 8u);
+  EXPECT_EQ(runner::ExperimentRunner(8, 1).jobs(), 8u);
+  // With threads > 1, jobs x threads never exceeds the machine (and the
+  // intra-session width keeps what it asked for).
+  for (const unsigned threads : {2u, 4u}) {
+    for (const unsigned jobs : {0u, 2u, 8u}) {
+      const runner::ExperimentRunner runner(jobs, threads);
+      EXPECT_LE(static_cast<std::uint64_t>(runner.jobs()) * threads,
+                std::max(hw, threads))
+          << "jobs " << jobs << " threads " << threads;
+      EXPECT_GE(runner.jobs(), 1u);
+    }
+  }
+}
+
+TEST(RunnerThreads, ThreadsOverrideDoesNotChangeResults) {
+  runner::ReplicationSpec base;
+  base.config.seed = 5;
+  base.config.expected_nodes = 150;
+  base.trace.node_count = 150;
+  base.trace.seed = 77;
+  base.duration = 20.0;
+  base.stable_from = 10.0;
+  const auto specs = runner::replicate(base, 3);
+
+  const auto results_serial = runner::ExperimentRunner(1, 1).run_all(specs);
+  const auto results_parallel = runner::ExperimentRunner(2, 4).run_all(specs);
+  ASSERT_EQ(results_serial.size(), results_parallel.size());
+  for (std::size_t i = 0; i < results_serial.size(); ++i) {
+    EXPECT_EQ(runner::result_fingerprint(results_serial[i]),
+              runner::result_fingerprint(results_parallel[i]))
+        << "replication " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CLI validation
+// ---------------------------------------------------------------------------
+
+TEST(CliValidation, ParsePositiveRejectsNonPositive) {
+  using runner::cli::parse_positive;
+  EXPECT_EQ(parse_positive("1").value(), 1u);
+  EXPECT_EQ(parse_positive("8").value(), 8u);
+  EXPECT_EQ(parse_positive("123456789").value(), 123456789u);
+  EXPECT_FALSE(parse_positive("0").has_value());
+  EXPECT_FALSE(parse_positive("-1").has_value());
+  EXPECT_FALSE(parse_positive("+2").has_value());
+  EXPECT_FALSE(parse_positive("4x").has_value());
+  EXPECT_FALSE(parse_positive("x4").has_value());
+  EXPECT_FALSE(parse_positive("").has_value());
+  EXPECT_FALSE(parse_positive(" 3").has_value());
+  EXPECT_FALSE(parse_positive("3.5").has_value());
+  EXPECT_FALSE(parse_positive("99999999999999999999999").has_value());
+  EXPECT_FALSE(parse_positive(nullptr).has_value());
+}
+
+TEST(CliValidation, ParseUintAllowsZeroButNotGarbage) {
+  using runner::cli::parse_uint;
+  EXPECT_EQ(parse_uint("0").value(), 0u);  // seeds may be zero
+  EXPECT_EQ(parse_uint("42").value(), 42u);
+  EXPECT_FALSE(parse_uint("x42").has_value());
+  EXPECT_FALSE(parse_uint("42x").has_value());
+  EXPECT_FALSE(parse_uint("-1").has_value());
+  EXPECT_FALSE(parse_uint("").has_value());
+}
+
+TEST(CliValidation, UnknownScenarioMessageListsValidNames) {
+  const std::string message = runner::cli::unknown_scenario_message("bogus");
+  EXPECT_NE(message.find("bogus"), std::string::npos);
+  // Every matrix scenario and at least one family member is listed.
+  for (const auto& name : runner::scenario_names()) {
+    EXPECT_NE(message.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(message.find("fig7_static_1000"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario parameterization
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioFamilies, OverridesApply) {
+  const auto base = runner::find_scenario("static_1k");
+  ASSERT_TRUE(base.has_value());
+  runner::ScenarioOverrides o;
+  o.node_count = 777;
+  o.churn_fraction = 0.10;
+  o.playback_rate = 20;  // stream rate
+  o.trace_seed = 9;
+  const auto derived = base->with(o, "derived");
+  EXPECT_EQ(derived.name, "derived");
+  EXPECT_EQ(derived.node_count, 777u);
+  EXPECT_TRUE(derived.churn);  // a positive rate implies the toggle
+  EXPECT_DOUBLE_EQ(derived.churn_fraction, 0.10);
+  EXPECT_EQ(derived.playback_rate, 20u);
+  EXPECT_EQ(derived.trace_seed, 9u);
+  // Untouched fields keep base values.
+  EXPECT_EQ(derived.connected_neighbors, base->connected_neighbors);
+
+  const auto config = derived.make_config(3);
+  EXPECT_EQ(config.playback_rate, 20u);
+  EXPECT_TRUE(config.churn_enabled);
+  EXPECT_DOUBLE_EQ(config.churn.leave_fraction, 0.10);
+  EXPECT_EQ(derived.make_trace().node_count, 777u);
+}
+
+TEST(ScenarioFamilies, FigGridsAreNamedScenarios) {
+  // The fig7/8/9/11 sweep grids resolve by name with the workloads the
+  // benches used to build inline.
+  const auto fig7 = runner::find_scenario("fig7_static_2000");
+  ASSERT_TRUE(fig7.has_value());
+  EXPECT_EQ(fig7->node_count, 2000u);
+  EXPECT_FALSE(fig7->churn);
+  EXPECT_EQ(fig7->trace_seed, 2300u);  // 300 + n
+
+  const auto fig8 = runner::find_scenario("fig8_dynamic_500");
+  ASSERT_TRUE(fig8.has_value());
+  EXPECT_TRUE(fig8->churn);
+  EXPECT_EQ(fig8->trace_seed, 900u);  // 400 + n
+
+  const auto fig9 = runner::find_scenario("fig9_m6_1000");
+  ASSERT_TRUE(fig9.has_value());
+  EXPECT_EQ(fig9->connected_neighbors, 6u);
+  EXPECT_EQ(fig9->trace_seed, 1506u);  // 500 + n + m
+
+  const auto fig11 = runner::find_scenario("fig11_dynamic_4000");
+  ASSERT_TRUE(fig11.has_value());
+  EXPECT_TRUE(fig11->churn);
+  EXPECT_EQ(fig11->trace_seed, 4600u);  // 600 + n
+
+  EXPECT_FALSE(runner::find_scenario("fig7_static_123").has_value());
+
+  // The core matrix is untouched: same names, still resolvable, and
+  // family names do not shadow them.
+  EXPECT_EQ(runner::scenario_names().size(), 12u);
+  EXPECT_EQ(runner::all_scenario_names().size(),
+            12u + runner::scenario_families().size());
+}
+
+}  // namespace
+}  // namespace continu

@@ -25,6 +25,7 @@
 #include "core/config.hpp"
 #include "core/session.hpp"
 #include "net/message.hpp"
+#include "runner/cli.hpp"
 #include "runner/experiment_runner.hpp"
 #include "runner/scenario.hpp"
 #include "trace/generator.hpp"
@@ -49,7 +50,8 @@ struct CliOptions {
   std::string csv_path;
   std::string csv_mode = "first";  // first | per-rep | long
   bool vary_trace_seed = false;
-  unsigned jobs = 0;          // 0 = hardware concurrency
+  unsigned jobs = 0;     // 0 = hardware concurrency (flag demands >= 1)
+  unsigned threads = 1;  // intra-session fork/join width
   std::size_t replications = 1;
   bool list_scenarios = false;
   bool quiet = false;
@@ -79,8 +81,12 @@ void print_usage(const char* argv0) {
       "                     (default 1)\n"
       "  --vary-trace-seed  also derive a fresh trace seed per replication, so\n"
       "                     each one runs on its own topology\n"
-      "  --jobs N           worker threads for the replication sweep\n"
-      "                     (default 0 = all hardware threads)\n"
+      "  --jobs N           worker threads for the replication sweep, N >= 1\n"
+      "                     (default: all hardware threads)\n"
+      "  --threads N        intra-session fork/join threads, N >= 1 (default 1;\n"
+      "                     results are identical for every value). With\n"
+      "                     replications the runner clamps jobs so\n"
+      "                     jobs x threads fits the machine\n"
       "  --csv FILE         dump per-round series as CSV\n"
       "  --csv-mode MODE    what --csv writes for multi-replication runs:\n"
       "                       first   series of replication 0 only (default)\n"
@@ -167,12 +173,30 @@ void print_usage(const char* argv0) {
     } else if (arg == "--replications") {
       const char* v = next();
       if (!v) return std::nullopt;
-      opt.replications = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
-      if (opt.replications == 0) opt.replications = 1;
+      const auto parsed = continu::runner::cli::parse_positive(v);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "--replications expects a positive integer, got '%s'\n", v);
+        return std::nullopt;
+      }
+      opt.replications = static_cast<std::size_t>(*parsed);
     } else if (arg == "--jobs") {
       const char* v = next();
       if (!v) return std::nullopt;
-      opt.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+      const auto parsed = continu::runner::cli::parse_positive_u32(v);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "--jobs expects a positive integer, got '%s'\n", v);
+        return std::nullopt;
+      }
+      opt.jobs = *parsed;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      const auto parsed = continu::runner::cli::parse_positive_u32(v);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "--threads expects a positive integer, got '%s'\n", v);
+        return std::nullopt;
+      }
+      opt.threads = *parsed;
     } else if (arg == "--csv") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -216,8 +240,8 @@ void reject_scenario_conflicts(const CliOptions& opt) {
   if (!opt.scenario.empty()) {
     const auto scenario = runner::find_scenario(opt.scenario);
     if (!scenario.has_value()) {
-      std::fprintf(stderr, "unknown scenario '%s' (see --list-scenarios)\n",
-                   opt.scenario.c_str());
+      std::fprintf(stderr, "%s\n",
+                   runner::cli::unknown_scenario_message(opt.scenario).c_str());
       std::exit(1);
     }
     reject_scenario_conflicts(opt);
@@ -281,6 +305,11 @@ int main(int argc, char** argv) {
       std::printf("%-20s %-6zu %-6s %s\n", s.name.c_str(), s.node_count,
                   s.churn ? "yes" : "no", s.description.c_str());
     }
+    std::printf("\nparameterized families (fig sweep grids):\n");
+    for (const auto& s : runner::scenario_families()) {
+      std::printf("%-20s %-6zu %-6s %s\n", s.name.c_str(), s.node_count,
+                  s.churn ? "yes" : "no", s.description.c_str());
+    }
     return 0;
   }
 
@@ -307,7 +336,7 @@ int main(int argc, char** argv) {
   const std::size_t nodes =
       spec.snapshot ? spec.snapshot->node_count() : spec.trace.node_count;
 
-  const runner::ExperimentRunner pool(opt.jobs);
+  const runner::ExperimentRunner pool(opt.jobs, opt.threads);
   runner::ReplicateOptions rep_options;
   rep_options.vary_trace_seed = opt.vary_trace_seed;
   const auto specs = opt.replications == 1

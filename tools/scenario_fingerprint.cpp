@@ -8,7 +8,12 @@
 // engines execute bit-identical sessions — diff the output across an
 // engine change to prove nothing drifted.
 //
-//   scenario_fingerprint [--seed S] [--only NAME[,NAME...]]
+// --threads N runs every session through the intra-session parallel
+// executor at that width. The output is REQUIRED to be byte-identical
+// for every N — diffing --threads 1 against --threads 4 is the CI
+// determinism gate for the fork/join engine.
+//
+//   scenario_fingerprint [--seed S] [--only NAME[,NAME...]] [--threads N]
 
 #include <cinttypes>
 #include <cstdio>
@@ -17,49 +22,35 @@
 #include <vector>
 
 #include "metrics/collector.hpp"
+#include "runner/cli.hpp"
 #include "runner/experiment_runner.hpp"
 #include "runner/scenario.hpp"
-
-namespace {
-
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-void fnv_mix(std::uint64_t& hash, const void* data, std::size_t bytes) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < bytes; ++i) {
-    hash ^= p[i];
-    hash *= kFnvPrime;
-  }
-}
-
-[[nodiscard]] std::uint64_t series_hash(const continu::runner::ReplicationResult& run) {
-  std::uint64_t hash = kFnvOffset;
-  for (const auto& round : run.continuity.rounds()) {
-    fnv_mix(hash, &round.time, sizeof(round.time));
-    fnv_mix(hash, &round.continuous_nodes, sizeof(round.continuous_nodes));
-    fnv_mix(hash, &round.counted_nodes, sizeof(round.counted_nodes));
-  }
-  for (const auto& name : run.collector.names()) {
-    fnv_mix(hash, name.data(), name.size());
-    for (const auto& sample : run.collector.series(name)) {
-      fnv_mix(hash, &sample.time, sizeof(sample.time));
-      fnv_mix(hash, &sample.value, sizeof(sample.value));
-    }
-  }
-  return hash;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace continu;
 
   std::uint64_t seed = 42;
+  unsigned threads = 1;
   std::vector<std::string> only;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      seed = std::strtoull(argv[++i], nullptr, 10);
+      const auto parsed = runner::cli::parse_uint(argv[++i]);
+      if (!parsed.has_value()) {
+        // A silently-mangled seed would shift the baseline being
+        // diffed — worse than an error for a determinism oracle.
+        std::fprintf(stderr, "--seed expects a non-negative integer, got '%s'\n",
+                     argv[i]);
+        return 1;
+      }
+      seed = *parsed;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const auto parsed = runner::cli::parse_positive_u32(argv[++i]);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "--threads expects a positive integer, got '%s'\n",
+                     argv[i]);
+        return 1;
+      }
+      threads = *parsed;
     } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
       std::string list = argv[++i];
       std::size_t pos = 0;
@@ -71,7 +62,9 @@ int main(int argc, char** argv) {
         pos = comma == std::string::npos ? comma : comma + 1;
       }
     } else {
-      std::fprintf(stderr, "usage: %s [--seed S] [--only NAME[,NAME...]]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--seed S] [--only NAME[,NAME...]] [--threads N]\n",
+                   argv[0]);
       return 1;
     }
   }
@@ -80,18 +73,26 @@ int main(int argc, char** argv) {
   // scenario must fail the CI fingerprint step, not vacuously pass it.
   for (const auto& name : only) {
     if (!runner::find_scenario(name).has_value()) {
-      std::fprintf(stderr, "unknown scenario '%s' in --only\n", name.c_str());
+      std::fprintf(stderr, "%s\n",
+                   runner::cli::unknown_scenario_message(name).c_str());
       return 1;
     }
   }
 
-  for (const auto& scenario : runner::scenario_matrix()) {
-    if (!only.empty()) {
-      bool wanted = false;
-      for (const auto& name : only) wanted = wanted || name == scenario.name;
-      if (!wanted) continue;
-    }
-    const auto spec = runner::spec_for(scenario, seed);
+  // Default sweep: the core matrix (bounded). With --only, run exactly
+  // the named scenarios — matrix or family members — in the order
+  // given, so a family name can never produce a vacuously-empty (and
+  // trivially diff-clean) output.
+  std::vector<runner::Scenario> scenarios;
+  if (only.empty()) {
+    scenarios = runner::scenario_matrix();
+  } else {
+    for (const auto& name : only) scenarios.push_back(*runner::find_scenario(name));
+  }
+
+  for (const auto& scenario : scenarios) {
+    auto spec = runner::spec_for(scenario, seed);
+    spec.config.threads = threads;
     const auto run = runner::ExperimentRunner::run_one(spec);
     const auto& s = run.stats;
     std::printf(
@@ -111,7 +112,7 @@ int main(int argc, char** argv) {
         s.segments_pushed, s.dht_route_messages, s.dht_route_failures, s.joins,
         s.graceful_leaves, s.abrupt_leaves, s.neighbor_replacements, s.transfer_timeouts,
         run.stable_continuity, run.continuity_index, run.control_overhead,
-        run.prefetch_overhead, run.alive_at_end, series_hash(run));
+        run.prefetch_overhead, run.alive_at_end, runner::result_fingerprint(run));
     std::fflush(stdout);
   }
   return 0;
