@@ -82,11 +82,19 @@ int main(int argc, char** argv) {
       "\"memory\": {\"measured_at\": \"end_of_run\", \"measured_nodes\": %zu, "
       "\"per_node_bytes\": %.1f, \"buffer_bytes\": %zu, "
       "\"neighbor_bytes\": %zu, \"dht_bytes\": %zu, \"inflight_bytes\": %zu, "
-      "\"total_bytes\": %zu}}\n",
+      "\"total_bytes\": %zu, \"detail\": {\"neighbor_set_bytes\": %zu, "
+      "\"overheard_bytes\": %zu, \"peer_table_bytes\": %zu, "
+      "\"backup_bytes\": %zu, \"transfer_map_bytes\": %zu, "
+      "\"prefetch_map_bytes\": %zu, \"tag_set_bytes\": %zu, "
+      "\"rate_table_bytes\": %zu}}}\n",
       name.c_str(), scenario.node_count, spec.duration, seed, wall, events,
       static_cast<double>(events) / wall, peak,
       std::thread::hardware_concurrency(), memory.nodes,
       memory.per_node_bytes(), memory.buffer_bytes, memory.neighbor_bytes,
-      memory.dht_bytes, memory.inflight_bytes, memory.total_bytes());
+      memory.dht_bytes, memory.inflight_bytes, memory.total_bytes(),
+      memory.neighbor_set_bytes, memory.overheard_bytes,
+      memory.peer_table_bytes, memory.backup_bytes, memory.transfer_map_bytes,
+      memory.prefetch_map_bytes, memory.tag_set_bytes,
+      memory.rate_table_bytes);
   return 0;
 }

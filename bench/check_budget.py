@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Memory-footprint regression gate.
+
+Compares a bench_large_session JSON record against a checked-in budget
+file and fails (exit 1) when bytes-per-node exceeds the budget — so a
+container regression can never land silently.
+
+    check_budget.py <bench_json> <budget_json>
+
+The bench JSON is one bench_large_session stdout line; the budget file
+holds {"scenario": ..., "max_per_node_bytes": ...}.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    with open(sys.argv[1], encoding="utf-8") as fh:
+        bench = json.load(fh)
+    with open(sys.argv[2], encoding="utf-8") as fh:
+        budget = json.load(fh)
+
+    if bench.get("scenario") != budget.get("scenario"):
+        print(
+            f"budget gate: scenario mismatch — bench ran "
+            f"'{bench.get('scenario')}' but budget covers "
+            f"'{budget.get('scenario')}'",
+            file=sys.stderr,
+        )
+        return 2
+
+    measured = float(bench["memory"]["per_node_bytes"])
+    limit = float(budget["max_per_node_bytes"])
+    sections = {
+        key: bench["memory"].get(key, 0)
+        for key in ("buffer_bytes", "neighbor_bytes", "dht_bytes", "inflight_bytes")
+    }
+    print(
+        f"budget gate [{bench['scenario']}]: measured {measured:.1f} B/node, "
+        f"budget {limit:.1f} B/node"
+    )
+    for key, value in sections.items():
+        nodes = max(int(bench["memory"].get("measured_nodes", 1)), 1)
+        print(f"  {key:>15}: {value / nodes:8.1f} B/node")
+
+    if measured > limit:
+        print(
+            f"budget gate: FAIL — {measured:.1f} exceeds the checked-in "
+            f"budget of {limit:.1f} B/node. If the growth is intentional, "
+            f"raise {sys.argv[2]} in the same PR with a justification.",
+            file=sys.stderr,
+        )
+        return 1
+    print("budget gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 #include "core/node.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "analysis/continuity_model.hpp"
 
@@ -44,52 +45,77 @@ double Node::available_sending_rate(SimTime now) const noexcept {
   return outbound_rate_ / (1.0 + backlog_s);
 }
 
+std::uint32_t Node::seg_key(SegmentId id) noexcept {
+  assert(id >= 0 && id <= static_cast<SegmentId>(0xffffffffu));
+  return static_cast<std::uint32_t>(id);
+}
+
 bool Node::begin_transfer(SegmentId id, TransferKind kind, NodeId supplier, SimTime now) {
-  const auto [it, inserted] =
-      inflight_.try_emplace(id, InflightTransfer{kind, supplier, now});
+  const auto [it, inserted] = inflight_.try_emplace(
+      seg_key(id),
+      detail::PackedTransfer{static_cast<float>(now), supplier, kind});
   (void)it;
   return inserted;
 }
 
 std::optional<InflightTransfer> Node::end_transfer(SegmentId id) {
-  const auto it = inflight_.find(id);
+  const auto it = inflight_.find(seg_key(id));
   if (it == inflight_.end()) return std::nullopt;
-  InflightTransfer record = it->second;
+  const InflightTransfer record{it->second.kind, it->second.supplier,
+                                static_cast<SimTime>(it->second.requested_at)};
   inflight_.erase(it);
   return record;
 }
 
-bool Node::transfer_pending(SegmentId id) const { return inflight_.count(id) != 0; }
-
-bool Node::begin_prefetch(SegmentId id, SimTime now) {
-  return prefetch_pending_.try_emplace(id, now).second;
+bool Node::transfer_pending(SegmentId id) const {
+  return inflight_.contains(seg_key(id));
 }
 
-void Node::end_prefetch(SegmentId id) { prefetch_pending_.erase(id); }
+std::vector<std::pair<SegmentId, InflightTransfer>> Node::inflight_snapshot() const {
+  std::vector<std::pair<SegmentId, InflightTransfer>> out;
+  out.reserve(inflight_.size());
+  for (const auto& [key, record] : inflight_) {
+    out.emplace_back(static_cast<SegmentId>(key),
+                     InflightTransfer{record.kind, record.supplier,
+                                      static_cast<SimTime>(record.requested_at)});
+  }
+  return out;
+}
+
+bool Node::begin_prefetch(SegmentId id, SimTime now) {
+  return prefetch_pending_.try_emplace(seg_key(id), static_cast<float>(now)).second;
+}
+
+void Node::end_prefetch(SegmentId id) { prefetch_pending_.erase(seg_key(id)); }
 
 bool Node::prefetch_pending(SegmentId id) const {
-  return prefetch_pending_.count(id) != 0;
+  return prefetch_pending_.contains(seg_key(id));
 }
 
 std::vector<SegmentId> Node::expire_prefetches(SimTime cutoff) {
   std::vector<SegmentId> expired;
-  for (const auto& [segment, started] : prefetch_pending_) {
-    if (started < cutoff) expired.push_back(segment);
+  for (const auto& [key, started] : prefetch_pending_) {
+    if (static_cast<SimTime>(started) < cutoff) {
+      expired.push_back(static_cast<SegmentId>(key));
+    }
   }
-  for (const SegmentId id : expired) prefetch_pending_.erase(id);
+  for (const SegmentId id : expired) prefetch_pending_.erase(seg_key(id));
   return expired;
 }
 
 bool Node::prefetch_tagged(SegmentId id) const {
-  const auto it = prefetch_tags_.find(id);
-  return it != prefetch_tags_.end() && it->second;
+  return prefetch_tags_.contains(seg_key(id));
 }
 
-void Node::tag_prefetched(SegmentId id) { prefetch_tags_[id] = true; }
+void Node::tag_prefetched(SegmentId id) { prefetch_tags_.insert(seg_key(id)); }
 
 void Node::expire_tags(SegmentId horizon) {
+  // Safe under the FlatSet erase-during-iteration contract: the
+  // predicate is idempotent, so a wrap-displaced revisit is harmless.
+  const std::uint32_t bound =
+      horizon <= 0 ? 0u : seg_key(horizon);
   for (auto it = prefetch_tags_.begin(); it != prefetch_tags_.end();) {
-    if (it->first < horizon) {
+    if (*it < bound) {
       it = prefetch_tags_.erase(it);
     } else {
       ++it;
@@ -99,19 +125,21 @@ void Node::expire_tags(SegmentId horizon) {
 
 std::vector<SegmentId> Node::drop_transfers_from(NodeId supplier) {
   std::vector<SegmentId> dropped;
-  for (const auto& [segment, record] : inflight_) {
-    if (record.supplier == supplier) dropped.push_back(segment);
+  for (const auto& [key, record] : inflight_) {
+    if (record.supplier == supplier) dropped.push_back(static_cast<SegmentId>(key));
   }
-  for (const SegmentId id : dropped) inflight_.erase(id);
+  for (const SegmentId id : dropped) inflight_.erase(seg_key(id));
   return dropped;
 }
 
 std::vector<SegmentId> Node::expire_transfers(SimTime cutoff) {
   std::vector<SegmentId> expired;
-  for (const auto& [segment, record] : inflight_) {
-    if (record.requested_at < cutoff) expired.push_back(segment);
+  for (const auto& [key, record] : inflight_) {
+    if (static_cast<SimTime>(record.requested_at) < cutoff) {
+      expired.push_back(static_cast<SegmentId>(key));
+    }
   }
-  for (const SegmentId id : expired) inflight_.erase(id);
+  for (const SegmentId id : expired) inflight_.erase(seg_key(id));
   return expired;
 }
 

@@ -8,7 +8,6 @@
 
 #include <memory>
 #include <optional>
-#include <unordered_map>
 
 #include "core/config.hpp"
 #include "core/rate_controller.hpp"
@@ -19,6 +18,7 @@
 #include "dht/peer_table.hpp"
 #include "overlay/neighbor_set.hpp"
 #include "overlay/overheard_list.hpp"
+#include "util/flat_map.hpp"
 #include "util/types.hpp"
 
 namespace continu::core {
@@ -37,6 +37,17 @@ struct InflightTransfer {
   NodeId supplier = kInvalidNode;
   SimTime requested_at = 0.0;
 };
+
+namespace detail {
+/// Packed in-flight record (12 bytes; the public InflightTransfer is
+/// reconstructed on read). requested_at is float: it only feeds
+/// timeout-cutoff comparisons at whole-period granularity.
+struct PackedTransfer {
+  float requested_at = 0.0f;
+  NodeId supplier = kInvalidNode;
+  TransferKind kind = TransferKind::kScheduled;
+};
+}  // namespace detail
 
 class Node {
  public:
@@ -98,9 +109,7 @@ class Node {
   [[nodiscard]] std::size_t inflight_count() const noexcept { return inflight_.size(); }
 
   /// Copy of the in-flight table (for timeout sweeps that mutate it).
-  [[nodiscard]] std::vector<std::pair<SegmentId, InflightTransfer>> inflight_snapshot() const {
-    return {inflight_.begin(), inflight_.end()};
-  }
+  [[nodiscard]] std::vector<std::pair<SegmentId, InflightTransfer>> inflight_snapshot() const;
 
   // --- pre-fetch bookkeeping (separate from gossip transfers: the two
   // channels deliberately RACE; the alpha tag mechanism reconciles) ----
@@ -131,21 +140,28 @@ class Node {
   /// the affected segment ids so the scheduler may retry them.
   std::vector<SegmentId> expire_transfers(SimTime cutoff);
 
-  /// Estimated footprint of the transfer/prefetch bookkeeping maps —
-  /// memory sizing. Charges hash buckets plus per-entry node overhead.
-  [[nodiscard]] std::size_t approx_inflight_bytes() const noexcept {
-    constexpr std::size_t kHashNodeOverhead = 2 * sizeof(void*);
-    const auto map_bytes = [](std::size_t buckets, std::size_t entries,
-                              std::size_t value_size) {
-      return buckets * sizeof(void*) +
-             entries * (value_size + kHashNodeOverhead);
-    };
-    return map_bytes(inflight_.bucket_count(), inflight_.size(),
-                     sizeof(std::pair<SegmentId, InflightTransfer>)) +
-           map_bytes(prefetch_pending_.bucket_count(), prefetch_pending_.size(),
-                     sizeof(std::pair<SegmentId, SimTime>)) +
-           map_bytes(prefetch_tags_.bucket_count(), prefetch_tags_.size(),
-                     sizeof(std::pair<SegmentId, bool>));
+  // Estimated footprint of the bookkeeping tables — memory sizing.
+  // Flat tables charge capacity x (slot + 1 meta byte). Per-table
+  // detail for the footprint report / README budget table; the rate
+  // table is reported via rates().approx_bytes().
+  [[nodiscard]] std::size_t approx_transfer_map_bytes() const noexcept {
+    return inflight_.approx_bytes();
+  }
+  [[nodiscard]] std::size_t approx_prefetch_map_bytes() const noexcept {
+    return prefetch_pending_.approx_bytes();
+  }
+  [[nodiscard]] std::size_t approx_tag_set_bytes() const noexcept {
+    return prefetch_tags_.approx_bytes();
+  }
+
+  /// Periodic GC hook (called once per round): shrinks bookkeeping
+  /// tables whose burst capacity has drained, so steady-state footprint
+  /// tracks live state instead of the all-time high-water mark. Not
+  /// noexcept — the shrink rehash allocates and may throw bad_alloc.
+  void compact_bookkeeping() {
+    inflight_.maybe_shrink();
+    prefetch_pending_.maybe_shrink();
+    prefetch_tags_.maybe_shrink();
   }
 
   // --- playback-round bookkeeping -------------------------------------------
@@ -176,9 +192,16 @@ class Node {
   RateController rates_;
   UrgentLine urgent_line_;
 
-  std::unordered_map<SegmentId, InflightTransfer> inflight_;
-  std::unordered_map<SegmentId, SimTime> prefetch_pending_;
-  std::unordered_map<SegmentId, bool> prefetch_tags_;
+  /// Keys are window-local segment ids narrowed to 32 bits — the same
+  /// boundedness argument as the 20-bit wire head: at 10 segments/s,
+  /// 2^32 ids is a 13-year stream. seg_key() asserts the precondition.
+  [[nodiscard]] static std::uint32_t seg_key(SegmentId id) noexcept;
+
+  util::FlatMap<std::uint32_t, detail::PackedTransfer> inflight_;
+  util::FlatMap<std::uint32_t, float> prefetch_pending_;
+  /// Pre-fetch delivery tags (paper: "tag"). Membership is the value,
+  /// so a flat SET (5 bytes/slot) replaces the old map-to-true.
+  util::FlatSet<std::uint32_t> prefetch_tags_;
   RoundStats round_stats_;
 };
 

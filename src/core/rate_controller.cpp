@@ -20,26 +20,31 @@ void RateController::on_transfer_complete(NodeId neighbor, double transfer_s) {
     throw std::invalid_argument("RateController: negative transfer time");
   }
   const double sample = 1.0 / std::max(transfer_s, kMinTurnaround);
-  auto [it, inserted] = ewma_.try_emplace(neighbor, initial_rate_);
-  it->second = smoothing_ * sample + (1.0 - smoothing_) * it->second;
+  auto [it, inserted] = ewma_.try_emplace(neighbor, static_cast<float>(initial_rate_));
+  it->second = static_cast<float>(smoothing_ * sample +
+                                  (1.0 - smoothing_) * static_cast<double>(it->second));
 }
 
 void RateController::on_transfer_failed(NodeId neighbor) {
-  auto [it, inserted] = ewma_.try_emplace(neighbor, initial_rate_);
-  it->second *= 0.7;
+  auto [it, inserted] = ewma_.try_emplace(neighbor, static_cast<float>(initial_rate_));
+  it->second *= 0.7f;
 }
 
 void RateController::on_transfer_refused(NodeId neighbor) {
-  auto [it, inserted] = ewma_.try_emplace(neighbor, initial_rate_);
-  it->second *= 0.9;
+  auto [it, inserted] = ewma_.try_emplace(neighbor, static_cast<float>(initial_rate_));
+  it->second *= 0.9f;
 }
 
 double RateController::estimate(NodeId neighbor) const {
   const auto it = ewma_.find(neighbor);
-  const double raw = (it == ewma_.end()) ? initial_rate_ : it->second;
+  const double raw =
+      (it == ewma_.end()) ? initial_rate_ : static_cast<double>(it->second);
   return std::clamp(raw, kFloorRate, kCeilingRate);
 }
 
-void RateController::forget(NodeId neighbor) { ewma_.erase(neighbor); }
+void RateController::forget(NodeId neighbor) {
+  ewma_.erase(neighbor);
+  ewma_.maybe_shrink();
+}
 
 }  // namespace continu::core

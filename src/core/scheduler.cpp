@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
 
+#include "util/flat_map.hpp"
 #include "util/hash.hpp"
 
 namespace continu::core {
@@ -24,9 +24,11 @@ struct Ranked {
   // Line 1: the maximum number of inbound segments this period.
   const std::size_t limit = std::min(ranked.size(), request.inbound_budget);
 
-  // Queuing time per supplier, tau(j), initially 0.
-  std::unordered_map<NodeId, double> queue_time;
-  std::unordered_map<NodeId, std::size_t> booked;
+  // Queuing time per supplier, tau(j), initially 0. Flat maps: one
+  // allocation each for the handful of suppliers a round sees, on the
+  // hottest per-round path in the system.
+  util::FlatMap<NodeId, double> queue_time;
+  util::FlatMap<NodeId, std::size_t> booked;
 
   for (std::size_t r = 0; r < ranked.size(); ++r) {
     if (result.assignments.size() >= limit) {

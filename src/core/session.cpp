@@ -1,6 +1,7 @@
 #include "core/session.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 #include "analysis/continuity_model.hpp"
@@ -445,6 +446,11 @@ void Session::round_prepare(std::size_t index) {
     maybe_start_playback(node);
   }
 
+  // Compact bookkeeping at the round's in-flight LOW point (after the
+  // timeout sweep, before this round books a new burst) so capacity
+  // tracks the standing backlog, not the booking spike.
+  node.compact_bookkeeping();
+
   exchange_buffer_maps(node, tick_rng);
 }
 
@@ -500,7 +506,8 @@ void Session::round_commit(std::size_t index, RoundPlan& plan) {
 
   refresh_dht_peers(node);
 
-  // Garbage-collect state that can no longer matter.
+  // Garbage-collect state that can no longer matter. (Bookkeeping
+  // compaction runs in round_prepare, at the in-flight low point.)
   if (emitted_ > static_cast<SegmentId>(config_.buffer_capacity)) {
     node.backup().expire_before(emitted_ - static_cast<SegmentId>(config_.buffer_capacity));
   }
@@ -618,12 +625,30 @@ void Session::exchange_buffer_maps(Node& node, util::Rng& tick_rng) {
   // content travels as a charge-only message: the scheduler reads the
   // neighbor's availability directly (fresh map), which is equivalent
   // at tau >> latency and avoids one simulator event per map.
+  //
+  // This path runs once per (node, neighbor) pair per period — at 100k
+  // nodes it is the densest loop in the session — and is kept
+  // allocation-free at steady state: the receive-side window the
+  // neighbor materializes comes from the pooled arena, and neighbor
+  // lists are walked in place instead of being copied out.
   const Bits map_bits = buffer_map_bits(config_.buffer_capacity);
   const SimTime now = sim_.now();
-  for (const NodeId id : node.neighbors().ids()) {
-    const auto idx = alive_node_by_id(id);
+  for (const auto& neighbor : node.neighbors().all()) {
+    const auto idx = alive_node_by_id(neighbor.id);
     if (!idx.has_value()) continue;
     network_.charge_only(MessageType::kBufferMap, map_bits);
+    // Receive side: materialize the advertised window as a real peer's
+    // map table would. The snapshot is deliberately TRANSIENT — the
+    // planner keeps reading live buffers (the fresh-map equivalence
+    // above), so retaining it would only duplicate state; what this
+    // models and measures is the exchange's memory traffic, which the
+    // pooled arena keeps allocation-free at steady state (a session
+    // test pins that). Cost: one ~10-word copy per exchange.
+    {
+      const auto received = window_arena_.checkout_copy(node.buffer().window());
+      assert(received.window().count() == node.buffer().window().count());
+      (void)received;
+    }
     // Membership piggyback: each exchange also carries a couple of
     // peer-table entries (the membership gossip of Ganesh et al. that
     // CoolStreaming builds on). This keeps the Overheard list fresh so
@@ -632,9 +657,10 @@ void Session::exchange_buffer_maps(Node& node, util::Rng& tick_rng) {
     // overhead counts only the 620 buffer-map bits.
     const Node& peer = *nodes_[*idx];
     network_.charge_only(MessageType::kJoinNotify, 2 * 48);
-    const auto peer_neighbors = peer.neighbors().ids();
+    const auto& peer_neighbors = peer.neighbors().all();
     for (int pick = 0; pick < 2 && !peer_neighbors.empty(); ++pick) {
-      const NodeId heard = peer_neighbors[tick_rng.next_below(peer_neighbors.size())];
+      const NodeId heard =
+          peer_neighbors[tick_rng.next_below(peer_neighbors.size())].id;
       if (heard == node.id()) continue;
       const auto hidx = alive_node_by_id(heard);
       if (!hidx.has_value()) continue;
@@ -769,8 +795,11 @@ void Session::run_scheduling(Node& node, double budget_fraction) {
 
 void Session::commit_scheduling(Node& node, const ScheduleResult& result) {
   const SimTime now = sim_.now();
-  // Group assignments per supplier into one pull request each.
-  std::unordered_map<NodeId, std::vector<SegmentId>> per_supplier;
+  // Group assignments per supplier into one pull request each. Flat
+  // map: requests go out in deterministic slot order (a pure function
+  // of the assignment list), where unordered_map order depended on
+  // libstdc++ bucket internals.
+  util::FlatMap<NodeId, std::vector<SegmentId>> per_supplier;
   for (const auto& assignment : result.assignments) {
     if (!node.begin_transfer(assignment.segment, TransferKind::kScheduled,
                              assignment.supplier, now)) {
@@ -1438,11 +1467,19 @@ MemoryFootprint Session::memory_footprint() const {
   fp.nodes = nodes_.size();
   for (const auto& node : nodes_) {
     fp.buffer_bytes += sizeof(StreamBuffer) + node->buffer().window().approx_bytes();
-    fp.neighbor_bytes +=
-        node->neighbors().approx_bytes() + node->overheard().approx_bytes();
-    fp.dht_bytes += node->dht_peers().approx_bytes() + node->backup().approx_bytes();
-    fp.inflight_bytes += node->approx_inflight_bytes();
+    fp.neighbor_set_bytes += node->neighbors().approx_bytes();
+    fp.overheard_bytes += node->overheard().approx_bytes();
+    fp.peer_table_bytes += node->dht_peers().approx_bytes();
+    fp.backup_bytes += node->backup().approx_bytes();
+    fp.transfer_map_bytes += node->approx_transfer_map_bytes();
+    fp.prefetch_map_bytes += node->approx_prefetch_map_bytes();
+    fp.tag_set_bytes += node->approx_tag_set_bytes();
+    fp.rate_table_bytes += node->rates().approx_bytes();
   }
+  fp.neighbor_bytes = fp.neighbor_set_bytes + fp.overheard_bytes;
+  fp.dht_bytes = fp.peer_table_bytes + fp.backup_bytes;
+  fp.inflight_bytes = fp.transfer_map_bytes + fp.prefetch_map_bytes +
+                      fp.tag_set_bytes + fp.rate_table_bytes;
   return fp;
 }
 

@@ -15,7 +15,6 @@
 
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/config.hpp"
@@ -33,6 +32,8 @@
 #include "sim/round_scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "trace/trace.hpp"
+#include "util/bitwindow_arena.hpp"
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
 namespace continu::core {
@@ -76,6 +77,16 @@ struct MemoryFootprint {
   std::size_t neighbor_bytes = 0;  ///< neighbor sets + overheard lists
   std::size_t dht_bytes = 0;       ///< peer tables + VoD backup stores
   std::size_t inflight_bytes = 0;  ///< transfer/prefetch bookkeeping maps
+  /// Per-container split of the section totals above (the README
+  /// budget table and the footprint-regression triage read these).
+  std::size_t neighbor_set_bytes = 0;  ///< of neighbor_bytes
+  std::size_t overheard_bytes = 0;     ///< of neighbor_bytes
+  std::size_t peer_table_bytes = 0;    ///< of dht_bytes
+  std::size_t backup_bytes = 0;        ///< of dht_bytes
+  std::size_t transfer_map_bytes = 0;  ///< of inflight_bytes
+  std::size_t prefetch_map_bytes = 0;  ///< of inflight_bytes
+  std::size_t tag_set_bytes = 0;       ///< of inflight_bytes
+  std::size_t rate_table_bytes = 0;    ///< of inflight_bytes
   [[nodiscard]] std::size_t total_bytes() const noexcept {
     return buffer_bytes + neighbor_bytes + dht_bytes + inflight_bytes;
   }
@@ -113,6 +124,12 @@ class Session {
   [[nodiscard]] MemoryFootprint memory_footprint() const;
   /// Resolved intra-session worker thread count.
   [[nodiscard]] unsigned threads() const noexcept { return exec_.threads(); }
+  /// Pooled-window arena backing buffer-map materialization; its stats
+  /// let tests assert the exchange path stops allocating at steady
+  /// state.
+  [[nodiscard]] const util::BitWindowArena& window_arena() const noexcept {
+    return window_arena_;
+  }
 
   // --- introspection -----------------------------------------------------
   [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
@@ -264,7 +281,9 @@ class Session {
   sim::RoundScheduler rounds_;
   std::vector<sim::RoundScheduler::Handle> round_handles_;
   std::unique_ptr<sim::PeriodicProcess> emit_process_;
-  std::unordered_map<NodeId, std::size_t> index_of_;
+  util::FlatMap<NodeId, std::size_t> index_of_;
+  /// Pooled storage for the per-exchange buffer-map windows.
+  util::BitWindowArena window_arena_;
 
   /// Fork/join scratch, reused across batches. plans_ is indexed by
   /// batch position (each shard writes a disjoint range); the shard-

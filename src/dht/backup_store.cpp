@@ -1,5 +1,6 @@
 #include "dht/backup_store.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace continu::dht {
@@ -32,20 +33,34 @@ void BackupStore::store(SegmentId id) { segments_.insert(id); }
 bool BackupStore::has(SegmentId id) const noexcept { return segments_.count(id) != 0; }
 
 std::size_t BackupStore::expire_before(SegmentId horizon) {
-  auto it = segments_.lower_bound(horizon);
-  const auto dropped = static_cast<std::size_t>(std::distance(segments_.begin(), it));
-  segments_.erase(segments_.begin(), it);
+  // Unordered sweep (idempotent predicate — safe under the FlatSet
+  // erase-during-iteration contract). The store holds a handful of live
+  // segments, so scanning capacity beats keeping a tree ordered.
+  std::size_t dropped = 0;
+  for (auto it = segments_.begin(); it != segments_.end();) {
+    if (*it < horizon) {
+      it = segments_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  segments_.maybe_shrink();
   return dropped;
 }
 
 std::vector<SegmentId> BackupStore::take_all() {
   std::vector<SegmentId> out(segments_.begin(), segments_.end());
+  std::sort(out.begin(), out.end());
   segments_.clear();
+  segments_.shrink_to_fit();
   return out;
 }
 
 std::vector<SegmentId> BackupStore::contents() const {
-  return {segments_.begin(), segments_.end()};
+  std::vector<SegmentId> out(segments_.begin(), segments_.end());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace continu::dht

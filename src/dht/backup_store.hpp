@@ -9,10 +9,10 @@
 // trailing edge (they can no longer help anyone meet a deadline).
 
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "dht/id_space.hpp"
+#include "util/flat_map.hpp"
 #include "util/ring_math.hpp"
 #include "util/types.hpp"
 
@@ -47,24 +47,25 @@ class BackupStore {
   /// Returns how many were dropped.
   std::size_t expire_before(SegmentId horizon);
 
-  /// Extracts the full contents (graceful-leave handover).
+  /// Extracts the full contents, ascending (graceful-leave handover —
+  /// sorted so the heir stores in the same order the old std::set
+  /// yielded).
   [[nodiscard]] std::vector<SegmentId> take_all();
 
+  /// Contents ascending.
   [[nodiscard]] std::vector<SegmentId> contents() const;
 
-  /// Estimated footprint — memory sizing. A red-black tree node costs
-  /// roughly 3 pointers + color + the key on top of the payload.
+  /// Estimated footprint — memory sizing. The flat set charges 9 bytes
+  /// per slot at capacity (a red-black tree node cost 40 per element).
   [[nodiscard]] std::size_t approx_bytes() const noexcept {
-    constexpr std::size_t kTreeNodeOverhead = 4 * sizeof(void*);
-    return sizeof(*this) +
-           segments_.size() * (sizeof(SegmentId) + kTreeNodeOverhead);
+    return sizeof(*this) + segments_.approx_bytes();
   }
 
  private:
   const IdSpace* space_;
   NodeId owner_;
   unsigned replicas_;
-  std::set<SegmentId> segments_;
+  util::FlatSet<SegmentId> segments_;
 };
 
 }  // namespace continu::dht

@@ -17,13 +17,15 @@ unsigned PeerTable::levels() const noexcept {
 
 std::optional<DhtPeer> PeerTable::peer_at(unsigned level) const {
   if (level == 0 || level > slots_.size()) return std::nullopt;
-  return slots_[level - 1];
+  const DhtPeer& slot = slots_[level - 1];
+  if (!occupied(slot)) return std::nullopt;
+  return slot;
 }
 
 std::vector<DhtPeer> PeerTable::peers() const {
   std::vector<DhtPeer> out;
   for (const auto& slot : slots_) {
-    if (slot.has_value()) out.push_back(*slot);
+    if (occupied(slot)) out.push_back(slot);
   }
   return out;
 }
@@ -32,23 +34,26 @@ bool PeerTable::offer(NodeId candidate, double latency_ms, SimTime now) {
   if (candidate == owner_) return false;
   const unsigned level = space_->level_of(owner_, candidate);
   if (level == 0 || level > slots_.size()) return false;
-  auto& slot = slots_[level - 1];
-  if (!slot.has_value()) {
-    slot = DhtPeer{candidate, latency_ms, now};
+  DhtPeer& slot = slots_[level - 1];
+  const auto lat = static_cast<float>(latency_ms);
+  const auto at = static_cast<float>(now);
+  if (!occupied(slot)) {
+    slot = DhtPeer{candidate, lat, at};
     return true;
   }
-  if (slot->id == candidate) {
-    slot->latency_ms = latency_ms;
-    slot->refreshed_at = now;
+  if (slot.id == candidate) {
+    slot.latency_ms = lat;
+    slot.refreshed_at = at;
     return false;
   }
   // Replacement policy: strictly fresher information wins; at equal
   // freshness prefer the lower-latency peer. This keeps the table
   // converging toward live, nearby peers purely from overhearing.
-  const bool fresher = now > slot->refreshed_at;
-  const bool closer = latency_ms < slot->latency_ms;
-  if (fresher || (now == slot->refreshed_at && closer)) {
-    slot = DhtPeer{candidate, latency_ms, now};
+  // Compared in float space so same-instant offers still tie exactly.
+  const bool fresher = at > slot.refreshed_at;
+  const bool closer = lat < slot.latency_ms;
+  if (fresher || (at == slot.refreshed_at && closer)) {
+    slot = DhtPeer{candidate, lat, at};
     return true;
   }
   return false;
@@ -56,8 +61,8 @@ bool PeerTable::offer(NodeId candidate, double latency_ms, SimTime now) {
 
 void PeerTable::evict(NodeId node) {
   for (auto& slot : slots_) {
-    if (slot.has_value() && slot->id == node) {
-      slot.reset();
+    if (slot.id == node) {
+      slot = DhtPeer{};
     }
   }
 }
@@ -70,11 +75,11 @@ std::optional<NodeId> PeerTable::next_hop(NodeId target) const {
   std::optional<NodeId> best;
   std::uint64_t best_dist = own_dist;
   for (const auto& slot : slots_) {
-    if (!slot.has_value()) continue;
-    const std::uint64_t d = space_->distance(slot->id, target);
+    if (!occupied(slot)) continue;
+    const std::uint64_t d = space_->distance(slot.id, target);
     if (d < best_dist) {
       best_dist = d;
-      best = slot->id;
+      best = slot.id;
     }
   }
   return best;
@@ -84,11 +89,11 @@ std::optional<NodeId> PeerTable::closest_clockwise_peer() const {
   std::optional<NodeId> best;
   std::uint64_t best_dist = space_->size();
   for (const auto& slot : slots_) {
-    if (!slot.has_value()) continue;
-    const std::uint64_t d = space_->distance(owner_, slot->id);
+    if (!occupied(slot)) continue;
+    const std::uint64_t d = space_->distance(owner_, slot.id);
     if (d != 0 && d < best_dist) {
       best_dist = d;
-      best = slot->id;
+      best = slot.id;
     }
   }
   return best;
@@ -96,9 +101,9 @@ std::optional<NodeId> PeerTable::closest_clockwise_peer() const {
 
 bool PeerTable::invariants_hold() const {
   for (unsigned level = 1; level <= slots_.size(); ++level) {
-    const auto& slot = slots_[level - 1];
-    if (!slot.has_value()) continue;
-    if (space_->level_of(owner_, slot->id) != level) return false;
+    const DhtPeer& slot = slots_[level - 1];
+    if (!occupied(slot)) continue;
+    if (space_->level_of(owner_, slot.id) != level) return false;
   }
   return true;
 }

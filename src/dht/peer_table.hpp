@@ -16,12 +16,16 @@
 
 namespace continu::dht {
 
+/// Float-packed (12 bytes; a slot used to cost 32 as
+/// std::optional<struct-of-doubles>). With ~log N slots per node this
+/// is a first-order term of the per-node DHT budget.
 struct DhtPeer {
   NodeId id = kInvalidNode;
-  double latency_ms = 0.0;
+  float latency_ms = 0.0f;
   /// Simulated time the entry was last confirmed; stale entries lose
-  /// replacement fights.
-  SimTime refreshed_at = 0.0;
+  /// replacement fights. Narrowed SimTime — freshness comparisons run
+  /// in float space so same-instant offers still tie.
+  float refreshed_at = 0.0f;
 };
 
 class PeerTable {
@@ -60,13 +64,19 @@ class PeerTable {
 
   /// Estimated footprint (slot capacity) — memory sizing.
   [[nodiscard]] std::size_t approx_bytes() const noexcept {
-    return sizeof(*this) + slots_.capacity() * sizeof(std::optional<DhtPeer>);
+    return sizeof(*this) + slots_.capacity() * sizeof(DhtPeer);
   }
 
  private:
+  [[nodiscard]] static bool occupied(const DhtPeer& slot) noexcept {
+    return slot.id != kInvalidNode;
+  }
+
   const IdSpace* space_;
   NodeId owner_;
-  std::vector<std::optional<DhtPeer>> slots_;  // index = level - 1
+  /// index = level - 1; id == kInvalidNode marks an empty slot (leaner
+  /// than optional, which pads each 12-byte entry to 16+).
+  std::vector<DhtPeer> slots_;
 };
 
 }  // namespace continu::dht

@@ -9,6 +9,9 @@ NeighborSet::NeighborSet(std::size_t capacity) : capacity_(capacity) {
   if (capacity == 0) {
     throw std::invalid_argument("NeighborSet: capacity must be positive");
   }
+  // Exact reservation: the set never exceeds `capacity`, and growth
+  // doubling would strand up to capacity-1 unused slots per node.
+  neighbors_.reserve(capacity);
 }
 
 bool NeighborSet::contains(NodeId id) const noexcept {
@@ -25,7 +28,8 @@ std::vector<NodeId> NeighborSet::ids() const {
 
 bool NeighborSet::add(NodeId id, double latency_ms, SimTime now) {
   if (full() || contains(id)) return false;
-  neighbors_.push_back(Neighbor{id, latency_ms, 0.0, 0.0, now});
+  neighbors_.push_back(Neighbor{id, static_cast<float>(latency_ms), 0.0f, 0.0f,
+                                static_cast<float>(now)});
   return true;
 }
 
@@ -40,7 +44,7 @@ bool NeighborSet::remove(NodeId id) {
 void NeighborSet::record_supply_event(NodeId id) {
   for (auto& n : neighbors_) {
     if (n.id == id) {
-      n.pending_supply += 1.0;
+      n.pending_supply += 1.0f;
       return;
     }
   }
@@ -48,8 +52,10 @@ void NeighborSet::record_supply_event(NodeId id) {
 
 void NeighborSet::fold_supply(double alpha) {
   for (auto& n : neighbors_) {
-    n.supply_rate = alpha * n.pending_supply + (1.0 - alpha) * n.supply_rate;
-    n.pending_supply = 0.0;
+    n.supply_rate =
+        static_cast<float>(alpha * static_cast<double>(n.pending_supply) +
+                           (1.0 - alpha) * static_cast<double>(n.supply_rate));
+    n.pending_supply = 0.0f;
   }
 }
 

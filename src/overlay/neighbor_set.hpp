@@ -13,14 +13,19 @@
 
 namespace continu::overlay {
 
+/// Float-packed per-neighbor state (20 bytes vs 40 with doubles): link
+/// latency and supply estimates are coarse measurements, so 24 mantissa
+/// bits are plenty — per-peer state budget is the scaling constraint.
+/// pending_supply counts whole segments (integers are float-exact far
+/// beyond any per-period count).
 struct Neighbor {
   NodeId id = kInvalidNode;
-  double latency_ms = 0.0;
+  float latency_ms = 0.0f;
   /// Exponentially-smoothed supply rate, segments per scheduling period.
-  double supply_rate = 0.0;
+  float supply_rate = 0.0f;
   /// Segments supplied since the last fold_supply().
-  double pending_supply = 0.0;
-  SimTime connected_at = 0.0;
+  float pending_supply = 0.0f;
+  float connected_at = 0.0f;  ///< SimTime narrowed; ages compare coarsely
 };
 
 class NeighborSet {
@@ -57,7 +62,9 @@ class NeighborSet {
 
   [[nodiscard]] std::optional<Neighbor> get(NodeId id) const;
 
-  /// Estimated footprint (vector capacity) — memory sizing.
+  /// Estimated footprint (vector capacity) — memory sizing. The vector
+  /// is reserved to exactly `capacity` at construction, so this is the
+  /// true steady-state heap cost.
   [[nodiscard]] std::size_t approx_bytes() const noexcept {
     return sizeof(*this) + neighbors_.capacity() * sizeof(Neighbor);
   }

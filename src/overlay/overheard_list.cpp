@@ -9,6 +9,7 @@ OverheardList::OverheardList(std::size_t capacity) : capacity_(capacity) {
   if (capacity == 0) {
     throw std::invalid_argument("OverheardList: capacity must be positive");
   }
+  entries_.reserve(capacity);
 }
 
 void OverheardList::hear(NodeId id, double latency_ms, SimTime now) {
@@ -17,10 +18,14 @@ void OverheardList::hear(NodeId id, double latency_ms, SimTime now) {
   if (it != entries_.end()) {
     entries_.erase(it);
   }
-  entries_.push_front(OverheardNode{id, latency_ms, now});
-  if (entries_.size() > capacity_) {
+  if (entries_.size() >= capacity_) {
     entries_.pop_back();
   }
+  // Move-to-front over <= capacity 12-byte entries: a ~240-byte memmove,
+  // cheaper than the deque's block bookkeeping at this size.
+  entries_.insert(entries_.begin(),
+                  OverheardNode{id, static_cast<float>(latency_ms),
+                                static_cast<float>(now)});
 }
 
 void OverheardList::forget(NodeId id) {

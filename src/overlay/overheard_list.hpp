@@ -5,7 +5,6 @@
 // connected-neighbor repair policy and DHT-peer refresh draw candidates
 // from here, which is why overlay maintenance needs no extra messages.
 
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -13,10 +12,12 @@
 
 namespace continu::overlay {
 
+/// Float-packed (12 bytes): overheard link metrics are approximate by
+/// nature, and the list is per-node state at 100k-node scale.
 struct OverheardNode {
   NodeId id = kInvalidNode;
-  double latency_ms = 0.0;
-  SimTime heard_at = 0.0;
+  float latency_ms = 0.0f;
+  float heard_at = 0.0f;  ///< SimTime narrowed
 };
 
 class OverheardList {
@@ -37,18 +38,19 @@ class OverheardList {
 
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] const std::deque<OverheardNode>& entries() const noexcept { return entries_; }
+  [[nodiscard]] const std::vector<OverheardNode>& entries() const noexcept { return entries_; }
   [[nodiscard]] bool contains(NodeId id) const noexcept;
 
-  /// Estimated footprint — memory sizing. Deques allocate in blocks;
-  /// the estimate charges live entries only.
+  /// Estimated footprint — memory sizing. The vector is reserved to
+  /// exactly `capacity` (a deque's 512-byte block minimum would more
+  /// than double the cost of a 20-entry list).
   [[nodiscard]] std::size_t approx_bytes() const noexcept {
-    return sizeof(*this) + entries_.size() * sizeof(OverheardNode);
+    return sizeof(*this) + entries_.capacity() * sizeof(OverheardNode);
   }
 
  private:
   std::size_t capacity_;
-  std::deque<OverheardNode> entries_;  // front = most recent
+  std::vector<OverheardNode> entries_;  // front (index 0) = most recent
 };
 
 }  // namespace continu::overlay

@@ -112,6 +112,16 @@ namespace {
     s.trace_seed = 8700;
     add(s);
   }
+  {
+    Scenario s;
+    s.name = "static_100k";
+    s.description =
+        "100000 nodes, static (production-scale milestone; memory-budget "
+        "workload — expect minutes of wall clock per run)";
+    s.node_count = 100000;
+    s.trace_seed = 100700;
+    add(s);
+  }
 
   // --- baselines on the same substrate ------------------------------------
   {

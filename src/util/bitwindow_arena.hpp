@@ -1,0 +1,122 @@
+#pragma once
+// Segment-window arena: pools the word storage behind short-lived
+// BitWindow copies so per-exchange window materialization reuses a
+// small set of buffers instead of allocating per exchange.
+//
+// The buffer-map exchange path checks out one window per (node,
+// neighbor) pair per round — at 100k nodes that is ~500k windows per
+// scheduling period. All of them are the same capacity and die within
+// the call, so a tiny pool (usually one buffer) serves the entire
+// session; after warm-up the steady state performs zero allocations,
+// which Stats::allocations makes assertable from tests.
+//
+// Leases are RAII: the storage returns to the pool when the lease goes
+// out of scope. Concurrently outstanding leases always hold disjoint
+// buffers (the pool pops, never shares).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/bitwindow.hpp"
+#include "util/types.hpp"
+
+namespace continu::util {
+
+class BitWindowArena {
+ public:
+  struct Stats {
+    std::uint64_t checkouts = 0;    ///< leases handed out
+    std::uint64_t allocations = 0;  ///< checkouts that had to allocate
+  };
+
+  /// RAII handle over a pooled window. Move-only; returns the storage
+  /// to the arena on destruction. The arena must outlive its leases.
+  class Lease {
+   public:
+    Lease(BitWindowArena* arena, BitWindow window) noexcept
+        : arena_(arena), window_(std::move(window)) {}
+    Lease(Lease&& other) noexcept
+        : arena_(other.arena_), window_(std::move(other.window_)) {
+      other.arena_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        arena_ = other.arena_;
+        window_ = std::move(other.window_);
+        other.arena_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    [[nodiscard]] BitWindow& window() noexcept { return window_; }
+    [[nodiscard]] const BitWindow& window() const noexcept { return window_; }
+
+   private:
+    void release() noexcept {
+      if (arena_ != nullptr) {
+        arena_->give_back(window_.take_words());
+        arena_ = nullptr;
+      }
+    }
+    BitWindowArena* arena_;
+    BitWindow window_;
+  };
+
+  /// Checks out an empty window of `capacity` bits at `head`.
+  [[nodiscard]] Lease checkout(std::size_t capacity, SegmentId head) {
+    BitWindow window;
+    window.adopt(capacity, head, take_storage((capacity + 63) / 64));
+    return Lease(this, std::move(window));
+  }
+
+  /// Checks out a pooled copy of `source` (same capacity, head and
+  /// presence bits) — the buffer-map materialization primitive. Each
+  /// word is written once (no clear-then-copy pass).
+  [[nodiscard]] Lease checkout_copy(const BitWindow& source) {
+    BitWindow window;
+    window.adopt_copy(source, take_storage((source.capacity() + 63) / 64));
+    return Lease(this, std::move(window));
+  }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t pooled() const noexcept { return pool_.size(); }
+
+  /// Pooled storage bytes — memory sizing.
+  [[nodiscard]] std::size_t approx_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const auto& storage : pool_) {
+      total += storage.capacity() * sizeof(std::uint64_t);
+    }
+    return total;
+  }
+
+ private:
+  friend class Lease;
+
+  /// Pops pooled storage (or an empty vector on a cold pool), counting
+  /// the checkout and whether it will have to allocate to hold `words`.
+  [[nodiscard]] std::vector<std::uint64_t> take_storage(std::size_t words) {
+    ++stats_.checkouts;
+    std::vector<std::uint64_t> storage;
+    if (!pool_.empty()) {
+      storage = std::move(pool_.back());
+      pool_.pop_back();
+    }
+    if (storage.capacity() < words) ++stats_.allocations;
+    return storage;
+  }
+
+  void give_back(std::vector<std::uint64_t>&& storage) noexcept {
+    pool_.push_back(std::move(storage));
+  }
+
+  std::vector<std::vector<std::uint64_t>> pool_;
+  Stats stats_;
+};
+
+}  // namespace continu::util

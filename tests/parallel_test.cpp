@@ -472,11 +472,11 @@ TEST(ScenarioFamilies, FigGridsAreNamedScenarios) {
 
   EXPECT_FALSE(runner::find_scenario("fig7_static_123").has_value());
 
-  // The core matrix is untouched: same names, still resolvable, and
-  // family names do not shadow them.
-  EXPECT_EQ(runner::scenario_names().size(), 12u);
+  // The core matrix keeps its names (append-only: static_100k joined
+  // in PR 4), still resolvable, and family names do not shadow them.
+  EXPECT_EQ(runner::scenario_names().size(), 13u);
   EXPECT_EQ(runner::all_scenario_names().size(),
-            12u + runner::scenario_families().size());
+            13u + runner::scenario_families().size());
 }
 
 }  // namespace

@@ -337,5 +337,48 @@ TEST(Session, PushPullRedundancyExceedsPull) {
   EXPECT_GT(ratio(push.stats()), ratio(pull.stats()));
 }
 
+// ---------------------------------------------------------------------------
+// Memory footprint / allocation discipline
+// ---------------------------------------------------------------------------
+
+TEST(Session, BufferMapExchangeDoesNotAllocateAtSteadyState) {
+  // The exchange path materializes one pooled window per (node,
+  // neighbor) pair per round. After warm-up the arena must serve every
+  // checkout from the pool: tens of thousands of further checkouts,
+  // zero further allocations.
+  const auto snapshot = small_trace(200, 21);
+  Session session(small_config(24), snapshot);
+  session.run(10.0);  // warm-up: pool fills, buffers saturate
+
+  const auto warm = session.window_arena().stats();
+  EXPECT_GT(warm.checkouts, 0u);
+
+  session.run(25.0);  // steady state
+  const auto steady = session.window_arena().stats();
+  EXPECT_GT(steady.checkouts, warm.checkouts + 10000u)
+      << "exchange stopped running — the assertion below would be vacuous";
+  EXPECT_EQ(steady.allocations, warm.allocations)
+      << "buffer-map exchange allocated at steady state";
+}
+
+TEST(Session, MemoryFootprintSectionsAreConsistent) {
+  const auto snapshot = small_trace(200, 22);
+  Session session(small_config(25), snapshot);
+  session.run(15.0);
+  const auto fp = session.memory_footprint();
+  EXPECT_EQ(fp.nodes, session.node_count());
+  EXPECT_EQ(fp.neighbor_bytes, fp.neighbor_set_bytes + fp.overheard_bytes);
+  EXPECT_EQ(fp.dht_bytes, fp.peer_table_bytes + fp.backup_bytes);
+  EXPECT_EQ(fp.inflight_bytes, fp.transfer_map_bytes + fp.prefetch_map_bytes +
+                                   fp.tag_set_bytes + fp.rate_table_bytes);
+  EXPECT_EQ(fp.total_bytes(), fp.buffer_bytes + fp.neighbor_bytes +
+                                  fp.dht_bytes + fp.inflight_bytes);
+  EXPECT_GT(fp.per_node_bytes(), 0.0);
+  // The flat-container rework's contract: a saturated node budget well
+  // under the old ~2.8 KB. Generous bound so trace variance never
+  // flakes; the CI budget gate enforces the tight number at static_8k.
+  EXPECT_LT(fp.per_node_bytes(), 2200.0);
+}
+
 }  // namespace
 }  // namespace continu::core

@@ -13,7 +13,12 @@
 // for every N — diffing --threads 1 against --threads 4 is the CI
 // determinism gate for the fork/join engine.
 //
+// The default sweep covers the matrix MINUS scenarios above 10k nodes
+// (static_100k alone takes ~15 minutes per thread setting); pass
+// --include-large to sweep those too, or name them via --only.
+//
 //   scenario_fingerprint [--seed S] [--only NAME[,NAME...]] [--threads N]
+//                        [--include-large]
 
 #include <cinttypes>
 #include <cstdio>
@@ -31,6 +36,7 @@ int main(int argc, char** argv) {
 
   std::uint64_t seed = 42;
   unsigned threads = 1;
+  bool include_large = false;
   std::vector<std::string> only;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
@@ -51,6 +57,8 @@ int main(int argc, char** argv) {
         return 1;
       }
       threads = *parsed;
+    } else if (std::strcmp(argv[i], "--include-large") == 0) {
+      include_large = true;
     } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
       std::string list = argv[++i];
       std::size_t pos = 0;
@@ -63,7 +71,8 @@ int main(int argc, char** argv) {
       }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--seed S] [--only NAME[,NAME...]] [--threads N]\n",
+                   "usage: %s [--seed S] [--only NAME[,NAME...]] [--threads N] "
+                   "[--include-large]\n",
                    argv[0]);
       return 1;
     }
@@ -79,13 +88,28 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Default sweep: the core matrix (bounded). With --only, run exactly
-  // the named scenarios — matrix or family members — in the order
-  // given, so a family name can never produce a vacuously-empty (and
-  // trivially diff-clean) output.
+  // Default sweep: the core matrix, MINUS production-scale scenarios
+  // (minutes each — they would make the everyday oracle unusable and
+  // developers would stop running it). --include-large or --only adds
+  // them back; the skip is announced so it can never pass silently as
+  // "full coverage". With --only, run exactly the named scenarios —
+  // matrix or family members — in the order given, so a family name
+  // can never produce a vacuously-empty (and trivially diff-clean)
+  // output.
+  constexpr std::size_t kLargeNodeThreshold = 10000;
   std::vector<runner::Scenario> scenarios;
   if (only.empty()) {
-    scenarios = runner::scenario_matrix();
+    for (const auto& scenario : runner::scenario_matrix()) {
+      if (!include_large && scenario.node_count > kLargeNodeThreshold) {
+        std::fprintf(stderr,
+                     "skipping %s (%zu nodes > %zu; pass --include-large or "
+                     "--only %s to run it)\n",
+                     scenario.name.c_str(), scenario.node_count,
+                     kLargeNodeThreshold, scenario.name.c_str());
+        continue;
+      }
+      scenarios.push_back(scenario);
+    }
   } else {
     for (const auto& name : only) scenarios.push_back(*runner::find_scenario(name));
   }
