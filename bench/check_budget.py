@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
-"""Memory-footprint regression gate.
+"""Memory-footprint and throughput regression gate.
 
 Compares a bench_large_session JSON record against a checked-in budget
-file and fails (exit 1) when bytes-per-node exceeds the budget — so a
-container regression can never land silently.
+file and fails (exit 1) when bytes-per-node exceeds the budget OR
+events-per-second falls below the floor — so neither a container
+regression nor a wall-clock regression can land silently.
 
     check_budget.py <bench_json> <budget_json>
 
 The bench JSON is one bench_large_session stdout line; the budget file
-holds {"scenario": ..., "max_per_node_bytes": ...}.
+holds {"scenario": ..., "max_per_node_bytes": ..., and optionally
+"min_events_per_sec": ...} (the throughput floor is skipped when the
+budget file does not set one).
 """
 
 import json
@@ -48,6 +51,7 @@ def main() -> int:
         nodes = max(int(bench["memory"].get("measured_nodes", 1)), 1)
         print(f"  {key:>15}: {value / nodes:8.1f} B/node")
 
+    failed = False
     if measured > limit:
         print(
             f"budget gate: FAIL — {measured:.1f} exceeds the checked-in "
@@ -55,6 +59,26 @@ def main() -> int:
             f"raise {sys.argv[2]} in the same PR with a justification.",
             file=sys.stderr,
         )
+        failed = True
+
+    floor = budget.get("min_events_per_sec")
+    if floor is not None:
+        throughput = float(bench["events_per_sec"])
+        print(
+            f"budget gate [{bench['scenario']}]: measured "
+            f"{throughput:,.0f} events/s, floor {float(floor):,.0f} events/s"
+        )
+        if throughput < float(floor):
+            print(
+                f"budget gate: FAIL — {throughput:,.0f} events/s is below "
+                f"the checked-in floor of {float(floor):,.0f}. If the "
+                f"slowdown is intentional, lower {sys.argv[2]} in the same "
+                f"PR with a justification.",
+                file=sys.stderr,
+            )
+            failed = True
+
+    if failed:
         return 1
     print("budget gate: OK")
     return 0

@@ -71,17 +71,6 @@ bool Node::transfer_pending(SegmentId id) const {
   return inflight_.contains(seg_key(id));
 }
 
-std::vector<std::pair<SegmentId, InflightTransfer>> Node::inflight_snapshot() const {
-  std::vector<std::pair<SegmentId, InflightTransfer>> out;
-  out.reserve(inflight_.size());
-  for (const auto& [key, record] : inflight_) {
-    out.emplace_back(static_cast<SegmentId>(key),
-                     InflightTransfer{record.kind, record.supplier,
-                                      static_cast<SimTime>(record.requested_at)});
-  }
-  return out;
-}
-
 bool Node::begin_prefetch(SegmentId id, SimTime now) {
   return prefetch_pending_.try_emplace(seg_key(id), static_cast<float>(now)).second;
 }
@@ -90,17 +79,6 @@ void Node::end_prefetch(SegmentId id) { prefetch_pending_.erase(seg_key(id)); }
 
 bool Node::prefetch_pending(SegmentId id) const {
   return prefetch_pending_.contains(seg_key(id));
-}
-
-std::vector<SegmentId> Node::expire_prefetches(SimTime cutoff) {
-  std::vector<SegmentId> expired;
-  for (const auto& [key, started] : prefetch_pending_) {
-    if (static_cast<SimTime>(started) < cutoff) {
-      expired.push_back(static_cast<SegmentId>(key));
-    }
-  }
-  for (const SegmentId id : expired) prefetch_pending_.erase(seg_key(id));
-  return expired;
 }
 
 bool Node::prefetch_tagged(SegmentId id) const {
@@ -130,17 +108,6 @@ std::vector<SegmentId> Node::drop_transfers_from(NodeId supplier) {
   }
   for (const SegmentId id : dropped) inflight_.erase(seg_key(id));
   return dropped;
-}
-
-std::vector<SegmentId> Node::expire_transfers(SimTime cutoff) {
-  std::vector<SegmentId> expired;
-  for (const auto& [key, record] : inflight_) {
-    if (static_cast<SimTime>(record.requested_at) < cutoff) {
-      expired.push_back(static_cast<SegmentId>(key));
-    }
-  }
-  for (const SegmentId id : expired) inflight_.erase(seg_key(id));
-  return expired;
 }
 
 }  // namespace continu::core

@@ -108,8 +108,41 @@ class Node {
   [[nodiscard]] bool transfer_pending(SegmentId id) const;
   [[nodiscard]] std::size_t inflight_count() const noexcept { return inflight_.size(); }
 
-  /// Copy of the in-flight table (for timeout sweeps that mutate it).
-  [[nodiscard]] std::vector<std::pair<SegmentId, InflightTransfer>> inflight_snapshot() const;
+  /// One-pass timeout sweep over BOTH in-flight tables (transfers of
+  /// any kind and pre-fetches): erases every entry requested before
+  /// `cutoff` and returns how many were dropped. For each dropped
+  /// in-flight transfer with a known supplier (whatever its
+  /// TransferKind), `on_failed(supplier)` fires exactly once so
+  /// the caller can decay the rate estimate — directly, or deferred
+  /// into a per-shard list when the sweep runs inside a fork (the
+  /// prepare-local phase applies those decays after the join, in shard
+  /// order). Touches only this node's own tables, so it is safe to run
+  /// concurrently across nodes. Erase-during-iteration is within the
+  /// FlatMap contract: the cutoff predicate is idempotent, and the
+  /// side effect rides the erase, so a wrap-displaced revisit (which is
+  /// only ever a non-erased entry) can never double-fire it.
+  template <typename F>
+  std::size_t sweep_timeouts(SimTime cutoff, F&& on_failed) {
+    std::size_t dropped = 0;
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+      if (static_cast<SimTime>(it->second.requested_at) < cutoff) {
+        if (it->second.supplier != kInvalidNode) on_failed(it->second.supplier);
+        it = inflight_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = prefetch_pending_.begin(); it != prefetch_pending_.end();) {
+      if (static_cast<SimTime>(it->second) < cutoff) {
+        it = prefetch_pending_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    return dropped;
+  }
 
   // --- pre-fetch bookkeeping (separate from gossip transfers: the two
   // channels deliberately RACE; the alpha tag mechanism reconciles) ----
@@ -121,8 +154,6 @@ class Node {
   [[nodiscard]] std::size_t prefetch_inflight_count() const noexcept {
     return prefetch_pending_.size();
   }
-  /// Drops pre-fetch entries started before `cutoff`; returns them.
-  std::vector<SegmentId> expire_prefetches(SimTime cutoff);
 
   /// Was this segment delivered by pre-fetch (the paper's tag)? Used to
   /// recognize "repeated data" when gossip later delivers it too.
@@ -134,11 +165,6 @@ class Node {
   /// Drops in-flight entries whose supplier died (abrupt failure).
   /// Returns the affected segment ids.
   std::vector<SegmentId> drop_transfers_from(NodeId supplier);
-
-  /// Drops in-flight entries requested before `cutoff` (supplier never
-  /// answered — it died mid-request or evicted the segment). Returns
-  /// the affected segment ids so the scheduler may retry them.
-  std::vector<SegmentId> expire_transfers(SimTime cutoff);
 
   // Estimated footprint of the bookkeeping tables — memory sizing.
   // Flat tables charge capacity x (slot + 1 meta byte). Per-table

@@ -33,6 +33,7 @@ SessionStats& operator+=(SessionStats& lhs, const SessionStats& rhs) noexcept {
   lhs.abrupt_leaves += rhs.abrupt_leaves;
   lhs.neighbor_replacements += rhs.neighbor_replacements;
   lhs.transfer_timeouts += rhs.transfer_timeouts;
+  lhs.mixed_batch_fallbacks += rhs.mixed_batch_fallbacks;
   return lhs;
 }
 
@@ -73,6 +74,13 @@ constexpr std::size_t kJoinBackstep = 20;
 /// Leading request entries a supplier serves in the requester's
 /// priority order (deadline-critical); the rest are served randomly.
 constexpr std::size_t kUrgentHead = 4;
+/// Membership piggyback riding each buffer-map exchange: how many
+/// peer-table entries travel, and the wire size of one entry. Consumed
+/// by BOTH halves of the exchange — the forked receive side picks
+/// kPiggybackEntries entries, the join's bulk charge prices them — so
+/// they must stay a single definition.
+constexpr int kPiggybackEntries = 2;
+constexpr Bits kMembershipEntryBits = 48;
 /// Look-ahead horizon (segments past the play point) the scheduler
 /// pulls toward. Bounds the elastic window-filling demand — without it,
 /// every young node pulls its entire 60 s buffer at full rate and the
@@ -301,29 +309,62 @@ void Session::on_round_batch(const std::vector<std::size_t>& users) {
   // Reserved ticks ride phases of their own (phase construction keeps
   // them out of node-round instants); if a config ever mixes them into
   // one batch, fall back to strict serial dispatch — still
-  // deterministic, batch content does not depend on thread count.
+  // deterministic, batch content does not depend on thread count. The
+  // fallback forfeits BOTH forked phases, so mixing node rounds in is
+  // counted: an accidental phase-layout change cannot quietly
+  // serialize every round (a test pins the counter at zero).
+  bool reserved = false;
+  bool node_rounds = false;
   for (const std::size_t user : users) {
     if (user == kSampleTickUser || user == kChurnTickUser) {
-      for (const std::size_t u : users) on_round_tick(u);
-      return;
+      reserved = true;
+    } else {
+      node_rounds = true;
     }
+  }
+  if (reserved) {
+    if (node_rounds) ++stats_.mixed_batch_fallbacks;
+    for (const std::size_t user : users) on_round_tick(user);
+    return;
   }
   run_round_batch(users);
 }
 
 void Session::run_round_batch(const std::vector<std::size_t>& users) {
-  // Phase 1 — prepare: serial, batch (= add) order.
-  for (const std::size_t user : users) round_prepare(user);
-
-  // Phase 2 — plan: forked across shards. Shard structure depends only
-  // on (batch size, kPlanGrain), so per-shard buffers merge in an
-  // order no thread count can change.
+  // Shard structure depends only on (batch size, kPlanGrain), so
+  // per-shard buffers merge in an order no thread count can change.
   const std::size_t n = users.size();
   const std::size_t shards =
       sim::parallel::ParallelExecutor::shard_count(n, kPlanGrain);
+  if (shard_emissions_.size() < shards) shard_emissions_.resize(shards);
+  if (prepare_shards_.size() < shards) prepare_shards_.resize(shards);
+
+  // Phase 1a — prepare-local: forked. Per-node own-state maintenance;
+  // cross-node reads are limited to batch-frozen state (see the
+  // data-ownership contract in session.hpp). Deferred records land in
+  // the per-shard PrepareShard scratch.
+  shard_stats_.assign(shards, SessionStats{});
+  for (std::size_t s = 0; s < shards; ++s) prepare_shards_[s].reset();
+  exec_.for_shards(n, kPlanGrain,
+                   [this, &users](std::size_t s, std::size_t begin, std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                       round_prepare_local(users[i], shard_stats_[s],
+                                           prepare_shards_[s]);
+                     }
+                   });
+  // Join — settle in shard order: stats deltas, then each shard's
+  // deferred rate decays / playback starts / wire charges.
+  sim::parallel::reduce_in_order(shard_stats_, stats_);
+  for (std::size_t s = 0; s < shards; ++s) apply_prepare_shard(prepare_shards_[s]);
+
+  // Phase 1b — prepare-link: serial, batch (= add) order. Neighbor
+  // repair mutates shared overlay link state reciprocally, so it can
+  // never fork.
+  for (const std::size_t user : users) round_prepare_link(user);
+
+  // Phase 2 — plan: forked across shards.
   plans_.assign(n, RoundPlan{});
   shard_stats_.assign(shards, SessionStats{});
-  if (shard_emissions_.size() < shards) shard_emissions_.resize(shards);
   exec_.for_shards(n, kPlanGrain,
                    [this, &users](std::size_t s, std::size_t begin, std::size_t end) {
                      for (std::size_t i = begin; i < end; ++i) {
@@ -400,9 +441,24 @@ void Session::on_source_emit() {
 // --------------------------------------------------------------------------
 
 void Session::on_node_round(std::size_t index) {
-  // Serial fallback (mixed batches): the SAME three phases the batched
-  // path runs, composed inline for one node.
-  round_prepare(index);
+  // Serial fallback (mixed batches): the SAME four phases the batched
+  // path runs, composed inline for one node; shard 0's scratch serves
+  // as the (immediately settled) deferred-record buffer. One semantic
+  // difference from the batched path, deliberate and thread-count
+  // independent: deferred records settle per NODE, not per batch, so a
+  // later node in the same mixed batch sees an earlier node's fresh
+  // playback start (pre-split serial semantics) instead of the
+  // batch-start snapshot. Mixed batches never form under the shipped
+  // phase layout — mixed_batch_fallbacks is pinned at zero by test —
+  // so the divergence is documentation, not behavior.
+  if (prepare_shards_.empty()) prepare_shards_.resize(1);
+  PrepareShard& scratch = prepare_shards_.front();
+  scratch.reset();
+  SessionStats prepare_delta;
+  round_prepare_local(index, prepare_delta, scratch);
+  stats_ += prepare_delta;
+  apply_prepare_shard(scratch);
+  round_prepare_link(index);
   RoundPlan plan;
   SessionStats delta;
   sim::parallel::EmissionBuffer emissions;
@@ -412,7 +468,8 @@ void Session::on_node_round(std::size_t index) {
   round_commit(index, plan);
 }
 
-void Session::round_prepare(std::size_t index) {
+void Session::round_prepare_local(std::size_t index, SessionStats& stats,
+                                  PrepareShard& shard) {
   Node& node = *nodes_[index];
   if (!node.alive()) return;
   const SimTime now = sim_.now();
@@ -420,30 +477,34 @@ void Session::round_prepare(std::size_t index) {
   // Per-tick RNG stream: every draw a round makes comes from
   // (session seed, tick time, node id), never from the shared session
   // generator — rounds are RNG-independent of each other, which is what
-  // lets the plan phase fork without reproducing a shared draw order.
+  // lets the forked phases run without reproducing a shared draw order.
   util::Rng tick_rng = util::Rng::for_tick(config_.seed, now, node.id());
 
   node.neighbors().fold_supply();
-  repair_neighbors(node);
 
-  // Abandon transfers whose supplier went silent, decaying its rate
-  // estimate so the scheduler backs off.
+  // Abandon transfers whose supplier went silent. The sweep erases only
+  // this node's own tables; the decay of each silent supplier's rate
+  // estimate is recorded per shard and applied at the join — the
+  // deferred list keeps the forked sweep's write set own-state and
+  // makes the decay application order explicit (shard order = batch
+  // order), independent of the thread count.
   const auto cutoff = now - kTransferTimeoutPeriods * tau;
-  for (const auto& [segment, record] : node.inflight_snapshot()) {
-    if (record.requested_at < cutoff) {
-      if (record.supplier != kInvalidNode) {
-        node.rates().on_transfer_failed(record.supplier);
-      }
-      node.end_transfer(segment);
-      ++stats_.transfer_timeouts;
-    }
-  }
-  stats_.transfer_timeouts += node.expire_prefetches(cutoff).size();
+  const auto index32 = static_cast<std::uint32_t>(index);
+  stats.transfer_timeouts +=
+      node.sweep_timeouts(cutoff, [&shard, index32](NodeId supplier) {
+        shard.rate_decays.emplace_back(index32, supplier);
+      });
 
   if (node.buffer().started()) {
     do_playback(node);
   } else if (!node.is_source()) {
-    maybe_start_playback(node);
+    // The startup decision reads peers' started() flags, so it decides
+    // from the batch-start state and the start itself applies at the
+    // join — which is exactly what keeps those flags frozen while
+    // other shards read them.
+    if (const auto anchor = plan_playback_start(node)) {
+      shard.playback_starts.emplace_back(index32, *anchor);
+    }
   }
 
   // Compact bookkeeping at the round's in-flight LOW point (after the
@@ -451,7 +512,38 @@ void Session::round_prepare(std::size_t index) {
   // tracks the standing backlog, not the booking spike.
   node.compact_bookkeeping();
 
-  exchange_buffer_maps(node, tick_rng);
+  exchange_buffer_maps(node, tick_rng, shard);
+}
+
+void Session::round_prepare_link(std::size_t index) {
+  Node& node = *nodes_[index];
+  if (!node.alive()) return;
+  // Neighbor repair rewires the overlay reciprocally — the one prepare
+  // step whose writes cross node boundaries, so it stays serial. It
+  // runs after the prepare-local join: this round's playback misses
+  // (the "struggling" signal) and piggybacked overhearing are already
+  // in place, and the forked phase could not have observed a
+  // half-repaired mesh.
+  repair_neighbors(node);
+}
+
+void Session::apply_prepare_shard(PrepareShard& shard) {
+  for (const auto& [index, supplier] : shard.rate_decays) {
+    nodes_[index]->rates().on_transfer_failed(supplier);
+  }
+  const SimTime now = sim_.now();
+  for (const auto& [index, anchor] : shard.playback_starts) {
+    nodes_[index]->buffer().start_playback(anchor, now);
+  }
+  // The emission side of the exchange: wire costs tallied in the fork,
+  // charged here in bulk — bit-identical to per-message charging
+  // (TrafficAccount keeps per-class sums of bits and message counts).
+  network_.charge_only_bulk(MessageType::kBufferMap,
+                            buffer_map_bits(config_.buffer_capacity),
+                            shard.buffer_map_messages);
+  network_.charge_only_bulk(MessageType::kJoinNotify,
+                            kPiggybackEntries * kMembershipEntryBits,
+                            shard.membership_messages);
 }
 
 void Session::round_plan(std::size_t index, RoundPlan& plan, SessionStats& stats,
@@ -580,7 +672,7 @@ void Session::do_playback(Node& node) {
   }
 }
 
-void Session::maybe_start_playback(Node& node) {
+std::optional<SegmentId> Session::plan_playback_start(const Node& node) const {
   // Two-tier startup.
   //
   // Follow rule (paper Section 5.2): a node whose neighbors already
@@ -594,18 +686,23 @@ void Session::maybe_start_playback(Node& node) {
   // accumulates the full startup window first, anchored at the oldest
   // segment it obtained — this self-selects a safe depth behind the
   // live edge.
+  //
+  // Runs inside the forked prepare-local phase: peers' started() flags
+  // are read live but FROZEN for the batch (every start decided this
+  // batch applies at the join), so a start propagates to followers one
+  // round later regardless of batch position or thread count.
   const bool following = [&] {
-    for (const NodeId id : node.neighbors().ids()) {
-      const auto idx = alive_node_by_id(id);
+    for (const auto& neighbor : node.neighbors().all()) {
+      const auto idx = alive_node_by_id(neighbor.id);
       if (idx.has_value() && nodes_[*idx]->buffer().started()) return true;
     }
     return false;
   }();
   const std::size_t runway =
       following ? kJoinStartSegments : config_.startup_segments;
-  if (!node.buffer().startup_ready(runway)) return;
+  if (!node.buffer().startup_ready(runway)) return std::nullopt;
   const auto newest = node.buffer().newest();
-  if (!newest.has_value()) return;
+  if (!newest.has_value()) return std::nullopt;
   // Anchor so a FULL startup cushion lies ahead of the play point —
   // unconditionally. Anchoring at the oldest held segment is
   // luck-dependent (top-heavy early pulls put it near the live edge and
@@ -617,26 +714,32 @@ void Session::maybe_start_playback(Node& node) {
       std::max({node.buffer().window_head(),
                 *newest - static_cast<SegmentId>(config_.startup_segments),
                 SegmentId{0}});
-  node.buffer().start_playback(anchor, sim_.now());
+  return anchor;
 }
 
-void Session::exchange_buffer_maps(Node& node, util::Rng& tick_rng) {
+void Session::exchange_buffer_maps(Node& node, util::Rng& tick_rng,
+                                   PrepareShard& shard) {
   // One 620-bit buffer map to each alive neighbor per round. The
   // content travels as a charge-only message: the scheduler reads the
   // neighbor's availability directly (fresh map), which is equivalent
   // at tau >> latency and avoids one simulator event per map.
   //
   // This path runs once per (node, neighbor) pair per period — at 100k
-  // nodes it is the densest loop in the session — and is kept
-  // allocation-free at steady state: the receive-side window the
-  // neighbor materializes comes from the pooled arena, and neighbor
-  // lists are walked in place instead of being copied out.
-  const Bits map_bits = buffer_map_bits(config_.buffer_capacity);
+  // nodes it is the densest loop in the session — so it runs inside
+  // the FORKED prepare-local phase, allocation-free at steady state.
+  // Own-state writes only: the materialized window comes from the
+  // shard's arena, the piggyback writes this node's own overheard
+  // list, and the wire costs are tallied into `shard` (the emission
+  // side, bulk-charged serially at the join). The peer's neighbor
+  // vector is read in place under the batch-frozen-membership
+  // contract: repair runs in prepare-link, and the only concurrent
+  // writes to those entries (a shard folding the PEER's supply rates)
+  // touch the float rate fields, never the ids the piggyback reads.
   const SimTime now = sim_.now();
   for (const auto& neighbor : node.neighbors().all()) {
     const auto idx = alive_node_by_id(neighbor.id);
     if (!idx.has_value()) continue;
-    network_.charge_only(MessageType::kBufferMap, map_bits);
+    ++shard.buffer_map_messages;
     // Receive side: materialize the advertised window as a real peer's
     // map table would. The snapshot is deliberately TRANSIENT — the
     // planner keeps reading live buffers (the fresh-map equivalence
@@ -645,7 +748,7 @@ void Session::exchange_buffer_maps(Node& node, util::Rng& tick_rng) {
     // pooled arena keeps allocation-free at steady state (a session
     // test pins that). Cost: one ~10-word copy per exchange.
     {
-      const auto received = window_arena_.checkout_copy(node.buffer().window());
+      const auto received = shard.arena.checkout_copy(node.buffer().window());
       assert(received.window().count() == node.buffer().window().count());
       (void)received;
     }
@@ -656,9 +759,10 @@ void Session::exchange_buffer_maps(Node& node, util::Rng& tick_rng) {
     // better partners. Charged as maintenance — the paper's control
     // overhead counts only the 620 buffer-map bits.
     const Node& peer = *nodes_[*idx];
-    network_.charge_only(MessageType::kJoinNotify, 2 * 48);
+    ++shard.membership_messages;
     const auto& peer_neighbors = peer.neighbors().all();
-    for (int pick = 0; pick < 2 && !peer_neighbors.empty(); ++pick) {
+    for (int pick = 0; pick < kPiggybackEntries && !peer_neighbors.empty();
+         ++pick) {
       const NodeId heard =
           peer_neighbors[tick_rng.next_below(peer_neighbors.size())].id;
       if (heard == node.id()) continue;
@@ -1461,6 +1565,15 @@ void Session::on_sample_tick() {
 // --------------------------------------------------------------------------
 // Memory footprint (sizing toward the 100k-node goal)
 // --------------------------------------------------------------------------
+
+util::BitWindowArena::Stats Session::window_arena_stats() const noexcept {
+  util::BitWindowArena::Stats total;
+  for (const auto& shard : prepare_shards_) {
+    total.checkouts += shard.arena.stats().checkouts;
+    total.allocations += shard.arena.stats().allocations;
+  }
+  return total;
+}
 
 MemoryFootprint Session::memory_footprint() const {
   MemoryFootprint fp;

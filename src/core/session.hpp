@@ -60,6 +60,13 @@ struct SessionStats {
   std::uint64_t abrupt_leaves = 0;
   std::uint64_t neighbor_replacements = 0;
   std::uint64_t transfer_timeouts = 0;
+  /// Round batches that mixed reserved ticks (sample/churn) with node
+  /// rounds and therefore fell back to fully serial per-node dispatch.
+  /// Zero by construction (reserved ticks ride phases of their own);
+  /// a config change that accidentally lands them on node-round
+  /// instants would silently forfeit every forked phase, so the
+  /// degradation is counted and a test pins it at zero.
+  std::uint64_t mixed_batch_fallbacks = 0;
 };
 
 /// Element-wise sum — merging counters across experiment replications
@@ -124,12 +131,11 @@ class Session {
   [[nodiscard]] MemoryFootprint memory_footprint() const;
   /// Resolved intra-session worker thread count.
   [[nodiscard]] unsigned threads() const noexcept { return exec_.threads(); }
-  /// Pooled-window arena backing buffer-map materialization; its stats
-  /// let tests assert the exchange path stops allocating at steady
-  /// state.
-  [[nodiscard]] const util::BitWindowArena& window_arena() const noexcept {
-    return window_arena_;
-  }
+  /// Aggregate stats of the per-shard pooled-window arenas backing
+  /// buffer-map materialization (the forked prepare-local phase gives
+  /// each shard its own arena); lets tests assert the exchange path
+  /// stops allocating at steady state at every thread count.
+  [[nodiscard]] util::BitWindowArena::Stats window_arena_stats() const noexcept;
 
   // --- introspection -----------------------------------------------------
   [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
@@ -165,20 +171,40 @@ class Session {
 
   // --- per-round behaviour ------------------------------------------------
   //
-  // A node round is split into three phases at the RoundScheduler batch
+  // A node round is split into four phases at the RoundScheduler batch
   // boundary (all ticks due at one instant):
-  //   prepare — mutation-heavy maintenance (neighbor repair, buffer-map
-  //             exchange, playback); serial, batch order; draws from a
-  //             per-tick RNG stream, never the shared session RNG;
+  //   prepare-local — per-node maintenance that touches ONLY the node's
+  //             own state (supply folding, transfer/prefetch timeout
+  //             sweep, playback, bookkeeping compaction, the receive
+  //             side of the buffer-map exchange); FORKED across the
+  //             executor's shards. Anything it may not apply from a
+  //             worker — stats deltas, rate decays, playback starts,
+  //             wire-cost tallies — is recorded in a per-shard
+  //             PrepareShard and settled at the join, in shard order.
+  //             Draws come from per-tick RNG streams, never the shared
+  //             session RNG.
+  //   prepare-link — overlay link maintenance (neighbor repair), which
+  //             mutates SHARED link state reciprocally; serial, batch
+  //             order, after the prepare-local join.
   //   plan    — the expensive read-only half (candidate building,
   //             Algorithm 1 / rarest-first, prefetch target selection);
-  //             forked across the executor's shards, stats deltas and
-  //             event emissions buffered per shard;
+  //             forked, stats deltas and event emissions buffered per
+  //             shard.
   //   commit  — applies plans (transfer bookkeeping, network sends, DHT
   //             prefetch launches); serial, batch order, after the
   //             shard buffers merged in shard order.
-  // The same three-phase path runs at every thread count, so results
+  // The same four-phase path runs at every thread count, so results
   // are bit-identical for threads = 1, 2, 4, 8.
+  //
+  // Data-ownership contract of the forked prepare-local phase: a shard
+  // writes only the states of its own nodes (buffers, round stats,
+  // in-flight tables, neighbor supply fields, overheard lists) plus its
+  // private PrepareShard. Cross-node reads are limited to state FROZEN
+  // for the whole batch: liveness flags and the id→index map (mutated
+  // only by churn ticks, which batch alone), neighbor-set MEMBERSHIP
+  // (repair runs serially afterwards), other nodes' buffer windows
+  // (mutated only by delivery events) and started() flags (playback
+  // starts are deferred to the join precisely so these stay frozen).
   void on_source_emit();
   /// RoundScheduler dispatch: `user` is a node index or a reserved tag.
   void on_round_tick(std::size_t user);
@@ -198,15 +224,55 @@ class Session {
     bool suppressed = false;  ///< case 3: N_miss > l
   };
 
-  void round_prepare(std::size_t index);
+  /// Per-shard scratch for the forked prepare-local sub-phase:
+  /// everything a worker shard may not apply to shared state is
+  /// recorded here and settled by apply_prepare_shard() at the join,
+  /// in shard order — so the applied sequence is a pure function of
+  /// (batch, shard structure), never of the thread count.
+  struct PrepareShard {
+    /// (node index, supplier) whose rate estimate decays after a
+    /// transfer timeout, in sweep order.
+    std::vector<std::pair<std::uint32_t, NodeId>> rate_decays;
+    /// (node index, anchor segment) playback starts decided this
+    /// batch. Deferred so every shard reads batch-start started()
+    /// flags — the read-only snapshot contract of prepare-local.
+    std::vector<std::pair<std::uint32_t, SegmentId>> playback_starts;
+    /// Wire tallies for the exchange's emission side; bulk-charged at
+    /// the join (bit-identical to per-message charging).
+    std::uint64_t buffer_map_messages = 0;
+    std::uint64_t membership_messages = 0;
+    /// Pooled windows for this shard's buffer-map materializations
+    /// (arenas are per shard so checkouts never contend or race).
+    util::BitWindowArena arena;
+    void reset() noexcept {
+      rate_decays.clear();
+      playback_starts.clear();
+      buffer_map_messages = 0;
+      membership_messages = 0;
+    }
+  };
+
+  void round_prepare_local(std::size_t index, SessionStats& stats,
+                           PrepareShard& shard);
+  void round_prepare_link(std::size_t index);
+  /// Settles one shard's deferred prepare records: rate decays, then
+  /// playback starts (record order), then the bulk wire charges.
+  void apply_prepare_shard(PrepareShard& shard);
   void round_plan(std::size_t index, RoundPlan& plan, SessionStats& stats,
                   sim::parallel::EmissionBuffer& emissions);
   void round_commit(std::size_t index, RoundPlan& plan);
 
   void repair_neighbors(Node& node);
   void do_playback(Node& node);
-  void maybe_start_playback(Node& node);
-  void exchange_buffer_maps(Node& node, util::Rng& tick_rng);
+  /// Read-only startup decision (forked): returns the anchor segment
+  /// when the node should start playback this round. The start itself
+  /// is applied at the join.
+  [[nodiscard]] std::optional<SegmentId> plan_playback_start(const Node& node) const;
+  /// Forked receive half of the per-round buffer-map exchange:
+  /// window materialization from the shard arena plus the membership
+  /// piggyback (own-state writes only); wire costs are tallied into
+  /// `shard` and charged at the join.
+  void exchange_buffer_maps(Node& node, util::Rng& tick_rng, PrepareShard& shard);
   /// Read-only planning half of a scheduling round. Returns false when
   /// nothing is schedulable; `seen` reports candidates considered.
   [[nodiscard]] bool plan_scheduling(const Node& node, double budget_fraction,
@@ -282,15 +348,17 @@ class Session {
   std::vector<sim::RoundScheduler::Handle> round_handles_;
   std::unique_ptr<sim::PeriodicProcess> emit_process_;
   util::FlatMap<NodeId, std::size_t> index_of_;
-  /// Pooled storage for the per-exchange buffer-map windows.
-  util::BitWindowArena window_arena_;
 
   /// Fork/join scratch, reused across batches. plans_ is indexed by
   /// batch position (each shard writes a disjoint range); the shard-
-  /// indexed buffers merge in shard order after the join.
+  /// indexed buffers merge in shard order after the join. The prepare
+  /// shards persist across batches so their arena pools stay warm
+  /// (steady state allocates nothing); shard 0 doubles as the scratch
+  /// for the serial mixed-batch fallback path.
   std::vector<RoundPlan> plans_;
   std::vector<SessionStats> shard_stats_;
   std::vector<sim::parallel::EmissionBuffer> shard_emissions_;
+  std::vector<PrepareShard> prepare_shards_;
 
   SegmentId emitted_ = 0;
   SessionStats stats_;

@@ -11,6 +11,12 @@ void Network::charge_only(MessageType type, Bits bits) {
   traffic_.charge(traffic_class_of(type), bits);
 }
 
+void Network::charge_only_bulk(MessageType type, Bits bits_each,
+                               std::uint64_t messages) {
+  if (messages == 0) return;
+  traffic_.charge(traffic_class_of(type), bits_each * messages, messages);
+}
+
 void Network::set_delivery_filter(std::function<bool(std::size_t)> filter) {
   filter_ = std::move(filter);
 }

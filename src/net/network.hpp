@@ -48,6 +48,13 @@ class Network {
   /// for locally-absorbed costs like the last routing hop's reply).
   void charge_only(MessageType type, Bits bits);
 
+  /// Bulk variant: charges `messages` same-typed messages of
+  /// `bits_each` in one call. Bit-equivalent to `messages` single
+  /// charges — this is how the forked prepare-local phase settles its
+  /// per-shard buffer-map wire tallies at the join without touching the
+  /// shared account from worker threads.
+  void charge_only_bulk(MessageType type, Bits bits_each, std::uint64_t messages);
+
   /// Installs the liveness filter; return false to drop deliveries.
   void set_delivery_filter(std::function<bool(std::size_t to)> filter);
 

@@ -350,11 +350,11 @@ TEST(Session, BufferMapExchangeDoesNotAllocateAtSteadyState) {
   Session session(small_config(24), snapshot);
   session.run(10.0);  // warm-up: pool fills, buffers saturate
 
-  const auto warm = session.window_arena().stats();
+  const auto warm = session.window_arena_stats();
   EXPECT_GT(warm.checkouts, 0u);
 
   session.run(25.0);  // steady state
-  const auto steady = session.window_arena().stats();
+  const auto steady = session.window_arena_stats();
   EXPECT_GT(steady.checkouts, warm.checkouts + 10000u)
       << "exchange stopped running — the assertion below would be vacuous";
   EXPECT_EQ(steady.allocations, warm.allocations)
