@@ -12,20 +12,19 @@ The bench JSON is one bench_large_session stdout line; the budget file
 holds {"scenario": ..., "max_per_node_bytes": ..., and optionally
 "min_events_per_sec": ...} (the throughput floor is skipped when the
 budget file does not set one).
+
+Exit codes: 0 within budget, 1 budget regression, 2 usage / malformed
+or unreadable input.
 """
 
 import json
 import sys
 
 
-def main() -> int:
-    if len(sys.argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-
-    with open(sys.argv[1], encoding="utf-8") as fh:
+def check(bench_path: str, budget_path: str) -> int:
+    with open(bench_path, encoding="utf-8") as fh:
         bench = json.load(fh)
-    with open(sys.argv[2], encoding="utf-8") as fh:
+    with open(budget_path, encoding="utf-8") as fh:
         budget = json.load(fh)
 
     if bench.get("scenario") != budget.get("scenario"):
@@ -56,7 +55,7 @@ def main() -> int:
         print(
             f"budget gate: FAIL — {measured:.1f} exceeds the checked-in "
             f"budget of {limit:.1f} B/node. If the growth is intentional, "
-            f"raise {sys.argv[2]} in the same PR with a justification.",
+            f"raise {budget_path} in the same PR with a justification.",
             file=sys.stderr,
         )
         failed = True
@@ -72,7 +71,7 @@ def main() -> int:
             print(
                 f"budget gate: FAIL — {throughput:,.0f} events/s is below "
                 f"the checked-in floor of {float(floor):,.0f}. If the "
-                f"slowdown is intentional, lower {sys.argv[2]} in the same "
+                f"slowdown is intentional, lower {budget_path} in the same "
                 f"PR with a justification.",
                 file=sys.stderr,
             )
@@ -82,6 +81,25 @@ def main() -> int:
         return 1
     print("budget gate: OK")
     return 0
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        return check(sys.argv[1], sys.argv[2])
+    except (OSError, ValueError, KeyError, TypeError, AttributeError) as error:
+        # Unreadable file, malformed JSON, or a record missing/mistyping
+        # a required field (memory.per_node_bytes, max_per_node_bytes,
+        # events_per_sec, ...): the documented exit 2 with a pointer at
+        # the culprit, never a raw traceback in the CI log.
+        print(
+            f"budget gate: cannot evaluate {sys.argv[1]} against "
+            f"{sys.argv[2]}: {type(error).__name__}: {error}",
+            file=sys.stderr,
+        )
+        return 2
 
 
 if __name__ == "__main__":

@@ -33,6 +33,18 @@ def check_record(path: str, width: int, floor: float) -> bool:
     bench = record.get("bench", "?")
     hardware = int(record.get("hardware_concurrency", 0))
     points = record.get("points", [])
+    # Shape-check before any lookup: a truncated bench run (killed mid
+    # JSON, emitted "points": null, or a point without its speedup)
+    # must produce the documented exit 2 diagnosis, not a traceback.
+    if not isinstance(points, list) or not all(
+        isinstance(p, dict) for p in points
+    ):
+        raise ValueError(f"'points' is not a list of objects in {path}")
+    if not points:
+        raise ValueError(
+            f"'points' is empty in {path} — the bench produced no "
+            f"measurements (truncated run?)"
+        )
     # A record carries either a threads curve or a jobs curve.
     axis = "threads" if any("threads" in p for p in points) else "jobs"
     label = f"{bench} ({axis}={width}, hardware_concurrency={hardware})"
@@ -52,6 +64,11 @@ def check_record(path: str, width: int, floor: float) -> bool:
         # (exit 2 via the caller), not a scaling regression.
         raise ValueError(f"no {axis}={width} point in {path}")
 
+    if not isinstance(target.get("speedup"), (int, float)):
+        raise ValueError(
+            f"{axis}={width} point in {path} has no numeric 'speedup' "
+            f"(got {target.get('speedup')!r})"
+        )
     speedup = float(target["speedup"])
 
     print(f"scaling gate [{label}]: measured {speedup:.2f}x, floor {floor:.2f}x")
@@ -81,7 +98,10 @@ def main() -> int:
         try:
             if not check_record(path, args.width, args.min_speedup):
                 ok = False
-        except (OSError, ValueError, KeyError) as error:
+        except (OSError, ValueError, KeyError, TypeError, AttributeError) as error:
+            # TypeError/AttributeError cover shape surprises the explicit
+            # checks miss (e.g. a field that is null or the wrong type):
+            # still a malformed-input exit 2, never a raw traceback.
             print(f"scaling gate: cannot read {path}: {error}", file=sys.stderr)
             return 2
     return 0 if ok else 1

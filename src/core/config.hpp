@@ -104,6 +104,14 @@ struct SystemConfig {
   /// batch the executor can shard. 0 = continuous phases (every batch
   /// is a single node; parallel execution degenerates to serial).
   unsigned round_phase_buckets = 32;
+  /// Latency quantization grid in milliseconds. 0 = the paper's
+  /// continuous pairwise model (every delivery is its own serial
+  /// event). Positive (1-5 ms in practice) snaps delivery instants UP
+  /// to the grid so co-instant deliveries batch and fork by receiver —
+  /// the quantized network mode. Results are bit-identical at every
+  /// thread count WITHIN a mode; the two modes are distinct universes
+  /// (see the committed divergence study for the metric deltas).
+  double latency_grid_ms = 0.0;
 
   /// Convenience: mean inbound rate (the lambda of Section 5.1). The
   /// rate distribution is a truncated exponential on [min, max] with

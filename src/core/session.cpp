@@ -34,6 +34,7 @@ SessionStats& operator+=(SessionStats& lhs, const SessionStats& rhs) noexcept {
   lhs.neighbor_replacements += rhs.neighbor_replacements;
   lhs.transfer_timeouts += rhs.transfer_timeouts;
   lhs.mixed_batch_fallbacks += rhs.mixed_batch_fallbacks;
+  lhs.deliveries_dropped += rhs.deliveries_dropped;
   return lhs;
 }
 
@@ -108,7 +109,8 @@ Session::Session(const SystemConfig& config, const trace::TraceSnapshot& snapsho
     : config_(config),
       space_(fit_id_space(config.id_space, snapshot.node_count())),
       sim_(),
-      network_(sim_, net::LatencyModel::from_trace(snapshot)),
+      network_(sim_, net::LatencyModel::from_trace(snapshot, /*floor_ms=*/5.0,
+                                                   config.latency_grid_ms)),
       directory_(space_),
       rp_(space_, util::Rng(config.seed ^ 0x5250ULL)),
       churn_(config.churn, util::Rng(config.seed ^ 0xC4u)),
@@ -120,6 +122,26 @@ Session::Session(const SystemConfig& config, const trace::TraceSnapshot& snapsho
   rounds_.set_batch_tick(
       [this](const std::vector<std::size_t>& users) { on_round_batch(users); });
   network_.set_delivery_filter([this](std::size_t to) { return alive_index(to); });
+  // Quantized-mode delivery buckets fork on the session's executor;
+  // the hooks bracket each dispatch with per-shard stats scratch and
+  // the shard-order reduction — the same deferred-merge contract the
+  // round phases use. Continuous mode never forks, and its immediate
+  // contexts write straight into stats_.
+  network_.set_executor(&exec_);
+  {
+    net::Network::ShardHooks hooks;
+    hooks.on_fork = [this](std::size_t shards) {
+      delivery_shard_stats_.assign(shards, SessionStats{});
+    };
+    hooks.scratch = [this](std::size_t shard) -> void* {
+      return &delivery_shard_stats_[shard];
+    };
+    hooks.on_join = [this](std::size_t) {
+      sim::parallel::reduce_in_order(delivery_shard_stats_, stats_);
+    };
+    hooks.serial_scratch = &stats_;
+    network_.set_shard_hooks(std::move(hooks));
+  }
   // Self-calibrate t_hop from the trace (the paper: "t_hop is ... an
   // approximate estimation from our simulation experience"). Drives the
   // urgent line's initial alpha, lower bound and adaptation step.
@@ -919,10 +941,12 @@ void Session::commit_scheduling(Node& node, const ScheduleResult& result) {
     ++stats_.requests_sent;
     const std::size_t requester = node.session_index();
     const std::size_t supplier = *supplier_index;
-    network_.send(requester, supplier, MessageType::kSegmentRequest, bits,
-                  [this, supplier, requester, ids = std::move(ids)]() mutable {
-                    handle_segment_request(supplier, requester, std::move(ids));
-                  });
+    network_.send_sharded(
+        requester, supplier, MessageType::kSegmentRequest, bits,
+        [this, supplier, requester,
+         ids = std::move(ids)](net::DeliveryContext& ctx) mutable {
+          handle_segment_request(supplier, requester, std::move(ids), ctx);
+        });
   }
 }
 
@@ -931,9 +955,11 @@ void Session::commit_scheduling(Node& node, const ScheduleResult& result) {
 // --------------------------------------------------------------------------
 
 void Session::handle_segment_request(std::size_t supplier, std::size_t requester,
-                                     std::vector<SegmentId> ids) {
+                                     std::vector<SegmentId> ids,
+                                     net::DeliveryContext& ctx) {
   Node& sup = *nodes_[supplier];
   if (!sup.alive()) return;
+  auto& stats = *static_cast<SessionStats*>(ctx.scratch());
   const SimTime now = sim_.now();
   const double horizon = kServeWithinPeriods * config_.scheduling_period;
   const double service_time = 1.0 / std::max(sup.outbound_rate(), 0.01);
@@ -942,9 +968,19 @@ void Session::handle_segment_request(std::size_t supplier, std::size_t requester
   // elastic tail in RANDOM order: if every supplier served each
   // identically-ordered request front-to-back, all requesters would end
   // up with the same segments and gossip exchange would die out.
+  //
+  // The shuffle draws from a per-request stream keyed on (instant,
+  // supplier, requester) — a handler running on a worker shard may not
+  // touch the shared session RNG, and the derived stream makes the
+  // serve order a pure function of the delivery schedule at every
+  // thread count (the parallel engine's standard per-tick RNG recipe).
   if (ids.size() > kUrgentHead) {
+    util::Rng request_rng = util::Rng::for_tick(
+        config_.seed, now,
+        (static_cast<std::uint64_t>(supplier) << 32) |
+            static_cast<std::uint64_t>(static_cast<std::uint32_t>(requester)));
     std::vector<SegmentId> tail(ids.begin() + kUrgentHead, ids.end());
-    rng_.shuffle(tail);
+    request_rng.shuffle(tail);
     std::copy(tail.begin(), tail.end(), ids.begin() + kUrgentHead);
   }
   std::vector<SegmentId> refused;
@@ -958,36 +994,44 @@ void Session::handle_segment_request(std::size_t supplier, std::size_t requester
       // The paper's case 3 (no available bandwidth) or an eviction race:
       // refuse explicitly so the requester can reschedule immediately
       // instead of waiting out a timeout.
-      ++stats_.segments_refused;
+      ++stats.segments_refused;
       refused.push_back(id);
       continue;
     }
     start_fluid_transfer(supplier, requester, id, MessageType::kSegmentData,
-                         TransferKind::kScheduled);
+                         TransferKind::kScheduled, &ctx);
   }
   if (!refused.empty()) {
-    network_.send(supplier, requester, MessageType::kRequestNack,
-                  WireCosts::kSmallPacketBits,
-                  [this, requester, supplier_id = sup.id(),
-                   refused = std::move(refused)] {
-                    // A refusal frees the in-flight slots for the next
-                    // round and mildly decays the supplier's estimate so
-                    // chronic saturation steers bookings elsewhere.
-                    // (Immediate rescheduling would retry the same
-                    // saturated supplier in a tight loop.)
-                    Node& req = *nodes_[requester];
-                    if (!req.alive()) return;
-                    for (const SegmentId id : refused) {
-                      req.end_transfer(id);
-                    }
-                    req.rates().on_transfer_refused(supplier_id);
-                  });
+    // The nack send mutates shared engine state (traffic account,
+    // event queue), so it rides the context: inline in immediate mode,
+    // settled at the join when forked.
+    ctx.defer([this, supplier, requester, supplier_id = sup.id(),
+               refused = std::move(refused)]() mutable {
+      network_.send_sharded(
+          supplier, requester, MessageType::kRequestNack,
+          WireCosts::kSmallPacketBits,
+          [this, requester, supplier_id,
+           refused = std::move(refused)](net::DeliveryContext&) {
+            // A refusal frees the in-flight slots for the next
+            // round and mildly decays the supplier's estimate so
+            // chronic saturation steers bookings elsewhere.
+            // (Immediate rescheduling would retry the same
+            // saturated supplier in a tight loop.) Requester-own
+            // writes only — shard-safe.
+            Node& req = *nodes_[requester];
+            if (!req.alive()) return;
+            for (const SegmentId id : refused) {
+              req.end_transfer(id);
+            }
+            req.rates().on_transfer_refused(supplier_id);
+          });
+    });
   }
 }
 
 void Session::start_fluid_transfer(std::size_t supplier, std::size_t requester,
                                    SegmentId id, net::MessageType type,
-                                   TransferKind kind) {
+                                   TransferKind kind, net::DeliveryContext* ctx) {
   Node& sup = *nodes_[supplier];
   const SimTime now = sim_.now();
 
@@ -996,6 +1040,11 @@ void Session::start_fluid_transfer(std::size_t supplier, std::size_t requester,
   // receiver's downlink serializes deliveries at its inbound rate. The
   // two queues pipeline — a wait at the uplink does not occupy the
   // receiver's downlink.
+  //
+  // The uplink booking happens HERE, inside the (possibly forked)
+  // request handler — supplier-own state, and later segments of the
+  // same request must see earlier bookings for the admission horizon
+  // to mean anything. Only the wire send defers.
   const double up_rate = std::max(sup.outbound_rate(), 0.01);
   const SimTime departure = std::max(now, sup.uplink_free_at()) + 1.0 / up_rate;
   sup.set_uplink_free_at(departure);
@@ -1003,28 +1052,52 @@ void Session::start_fluid_transfer(std::size_t supplier, std::size_t requester,
   const NodeId supplier_id = sup.id();
   const double bottleneck =
       std::max(1.0 / up_rate, 1.0 / std::max(nodes_[requester]->inbound_rate(), 0.01));
-  network_.send(supplier, requester, type, WireCosts::kSegmentBits,
-                [this, requester, id, kind, supplier_id, bottleneck] {
-                  // Stage 2: queue on the receiver's downlink.
-                  Node& req = *nodes_[requester];
-                  if (!req.alive()) return;
-                  const SimTime arrival = sim_.now();
-                  const double down_rate = std::max(req.inbound_rate(), 0.01);
-                  const SimTime done =
-                      std::max(arrival, req.downlink_free_at()) + 1.0 / down_rate;
-                  req.set_downlink_free_at(done);
-                  sim_.schedule_at(done, [this, requester, id, kind, supplier_id,
-                                          bottleneck] {
-                    deliver_segment(requester, id, kind, supplier_id, bottleneck);
-                  });
-                },
-                /*extra_delay=*/departure - now);
+  const SimTime uplink_wait = departure - now;
+  const auto send_stage2 = [this, supplier = static_cast<std::uint32_t>(supplier),
+                            requester = static_cast<std::uint32_t>(requester), id,
+                            kind, supplier_id, bottleneck, type, uplink_wait] {
+    network_.send_sharded(
+        supplier, requester, type, WireCosts::kSegmentBits,
+        [this, requester, id, kind, supplier_id,
+         bottleneck](net::DeliveryContext& delivery_ctx) {
+          // Stage 2: queue on the receiver's downlink. Receiver-own
+          // writes only; same-bucket arrivals for one receiver chain
+          // through downlink_free_at in schedule order — the shard
+          // groups by receiver precisely so this serialization holds.
+          Node& req = *nodes_[requester];
+          if (!req.alive()) return;
+          const SimTime arrival = sim_.now();
+          const double down_rate = std::max(req.inbound_rate(), 0.01);
+          const SimTime done =
+              std::max(arrival, req.downlink_free_at()) + 1.0 / down_rate;
+          req.set_downlink_free_at(done);
+          // Stage 3 forks too: the completion is a sharded
+          // continuation on the same receiver (an exact schedule_at in
+          // continuous mode, the grid bucket at ceil(done) when
+          // quantized).
+          delivery_ctx.forward(
+              requester, done,
+              [this, requester, id, kind, supplier_id,
+               bottleneck](net::DeliveryContext& done_ctx) {
+                deliver_segment(requester, id, kind, supplier_id, bottleneck,
+                                done_ctx);
+              });
+        },
+        /*extra_delay=*/uplink_wait);
+  };
+  if (ctx != nullptr) {
+    ctx->defer(send_stage2);
+  } else {
+    send_stage2();
+  }
 }
 
 void Session::deliver_segment(std::size_t receiver, SegmentId id, TransferKind kind,
-                              NodeId supplier, double transfer_duration) {
+                              NodeId supplier, double transfer_duration,
+                              net::DeliveryContext& ctx) {
   Node& node = *nodes_[receiver];
   if (!node.alive()) return;
+  auto& stats = *static_cast<SessionStats*>(ctx.scratch());
   const SimTime now = sim_.now();
 
   const auto record = (kind == TransferKind::kScheduled)
@@ -1032,8 +1105,19 @@ void Session::deliver_segment(std::size_t receiver, SegmentId id, TransferKind k
                           : std::optional<InflightTransfer>{};
   if (kind == TransferKind::kPrefetch) node.end_prefetch(id);
   const bool fresh = node.buffer().insert(id);
-  ++stats_.segments_delivered;
-  if (!fresh) ++stats_.duplicate_deliveries;
+  ++stats.segments_delivered;
+  if (!fresh) ++stats.duplicate_deliveries;
+
+  // The push relay reads OTHER nodes' buffers and draws from the
+  // shared session RNG, so it always runs serially: inline in
+  // immediate mode, at the join (shard order) when forked. The alive
+  // re-check is for the deferred case.
+  const auto relay_via_ctx = [this, &ctx, receiver, id] {
+    ctx.defer([this, receiver, id] {
+      Node& relay_node = *nodes_[receiver];
+      if (relay_node.alive()) push_relay(relay_node, id);
+    });
+  };
 
   if (kind == TransferKind::kPushed) {
     // Unsolicited relay: credit the supplier's supply score (it spent
@@ -1041,7 +1125,7 @@ void Session::deliver_segment(std::size_t receiver, SegmentId id, TransferKind k
     node.neighbors().record_supply_event(supplier);
     store_backup_if_responsible(node, id);
     if (fresh && config_.scheduler == SchedulerKind::kGridMediaPushPull) {
-      push_relay(node, id);
+      relay_via_ctx();
     }
     return;
   }
@@ -1059,7 +1143,7 @@ void Session::deliver_segment(std::size_t receiver, SegmentId id, TransferKind k
       node.urgent_line().on_repeated_prefetch();
     }
   } else {
-    ++stats_.prefetch_succeeded;
+    ++stats.prefetch_succeeded;
     node.tag_prefetched(id);
     if (fresh) {
       // Overdue data (alpha case 1): the pre-fetch landed too late.
@@ -1078,7 +1162,7 @@ void Session::deliver_segment(std::size_t receiver, SegmentId id, TransferKind k
   // as soon as it is received". Duplicates die out at receivers that
   // already hold the segment.
   if (fresh && config_.scheduler == SchedulerKind::kGridMediaPushPull) {
-    push_relay(node, id);
+    relay_via_ctx();
   }
 }
 

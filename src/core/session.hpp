@@ -67,6 +67,12 @@ struct SessionStats {
   /// instants would silently forfeit every forked phase, so the
   /// degradation is counted and a test pins it at zero.
   std::uint64_t mixed_batch_fallbacks = 0;
+  /// Deliveries dropped by the network's liveness filter (the receiver
+  /// died while the message was in flight). Mirrored from
+  /// Network::dropped() so the counter reaches the fingerprint oracle —
+  /// a filter regression can't pass CI as "fewer deliveries, still
+  /// deterministic".
+  std::uint64_t deliveries_dropped = 0;
 };
 
 /// Element-wise sum — merging counters across experiment replications
@@ -124,7 +130,14 @@ class Session {
   [[nodiscard]] const net::TrafficAccount& traffic() const noexcept {
     return network_.traffic();
   }
-  [[nodiscard]] const SessionStats& stats() const noexcept { return stats_; }
+  /// Aggregate counters. The drop counter's source of truth is the
+  /// Network (filters run inside delivery dispatch, including worker
+  /// shards); it is mirrored here lazily so the delivery hot path
+  /// carries no extra write.
+  [[nodiscard]] const SessionStats& stats() const noexcept {
+    stats_.deliveries_dropped = network_.dropped();
+    return stats_;
+  }
   /// Current per-node state footprint (see MemoryFootprint). For static
   /// scenarios the end-of-run value is the steady-state peak: buffers
   /// saturate within one capacity window and stay full.
@@ -294,12 +307,27 @@ class Session {
   void push_relay(Node& node, SegmentId id);
 
   // --- transfers -----------------------------------------------------------
+  //
+  // The transfer-plane handlers run through the network's sharded
+  // delivery path: in quantized mode they may execute on a worker
+  // shard (receiver-shard ownership contract — own-node writes plus
+  // the per-shard stats scratch behind ctx.scratch(); sends, relays
+  // and shared-RNG work deferred through the context), in continuous
+  // mode the context is immediate and they execute exactly as the
+  // serial forms did. The DHT/prefetch chain and churn handover stay
+  // on the serial send path this PR.
   void handle_segment_request(std::size_t supplier, std::size_t requester,
-                              std::vector<SegmentId> ids);
+                              std::vector<SegmentId> ids, net::DeliveryContext& ctx);
+  /// Books the supplier's uplink inline (supplier-own state) and
+  /// defers the wire send through `ctx` when given (worker shards must
+  /// not touch the queue); ctx == nullptr sends directly (serial
+  /// callers: push relays at the join, the DHT prefetch path).
   void start_fluid_transfer(std::size_t supplier, std::size_t requester, SegmentId id,
-                            net::MessageType type, TransferKind kind);
+                            net::MessageType type, TransferKind kind,
+                            net::DeliveryContext* ctx = nullptr);
   void deliver_segment(std::size_t receiver, SegmentId id, TransferKind kind,
-                       NodeId supplier, double transfer_duration);
+                       NodeId supplier, double transfer_duration,
+                       net::DeliveryContext& ctx);
 
   // --- DHT / prefetch -------------------------------------------------------
   void launch_prefetch(std::size_t origin, SegmentId segment);
@@ -359,9 +387,15 @@ class Session {
   std::vector<SessionStats> shard_stats_;
   std::vector<sim::parallel::EmissionBuffer> shard_emissions_;
   std::vector<PrepareShard> prepare_shards_;
+  /// Per-shard stats deltas for forked delivery-bucket dispatches
+  /// (quantized mode). Separate from shard_stats_ on purpose: a bucket
+  /// proxy is an ordinary event and never overlaps a round batch, but
+  /// sharing the buffer would couple two unrelated fork/join sites.
+  std::vector<SessionStats> delivery_shard_stats_;
 
   SegmentId emitted_ = 0;
-  SessionStats stats_;
+  /// Mutable: stats() lazily mirrors Network::dropped() (see stats()).
+  mutable SessionStats stats_;
   metrics::ContinuityTracker continuity_;
   metrics::SeriesCollector collector_;
   net::TrafficAccount last_traffic_snapshot_;

@@ -1,0 +1,260 @@
+#pragma once
+// Sharded delivery plumbing for the quantized network mode.
+//
+// In quantized mode the Network collects every delivery landing on one
+// latency-grid point into a bucket and, at the bucket boundary, forks
+// the batch across receiver shards. A handler that participates takes
+// a DeliveryContext& instead of running bare: the context tells it
+// which shard it is on, hands it the session-installed per-shard stats
+// scratch, and buffers everything the handler may NOT do from a worker
+// thread (event scheduling, network sends, cross-node writes) for the
+// join to settle in shard order — the same deferred-emission contract
+// the forked prepare-local and plan phases follow.
+//
+// DeliveryAction is the storage for such handlers: a move-only,
+// small-buffer-optimized callable invoked as void(DeliveryContext&),
+// mirroring sim::EventAction so buffering a delivery allocates nothing
+// for inline-sized captures.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "util/types.hpp"
+
+namespace continu::net {
+
+class Network;
+class DeliveryContext;
+
+class DeliveryAction {
+ public:
+  /// Matches sim::EventAction::kInlineCapacity: the delivery handlers
+  /// the session schedules top out at 48 capture bytes.
+  static constexpr std::size_t kInlineCapacity = sim::EventAction::kInlineCapacity;
+
+  DeliveryAction() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, DeliveryAction> &&
+                std::is_invocable_v<std::decay_t<F>&, DeliveryContext&>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design,
+  // mirroring EventAction at the send call sites.
+  DeliveryAction(F&& f) {
+    emplace(std::forward<F>(f));
+  }
+
+  DeliveryAction(DeliveryAction&& other) noexcept { move_from(other); }
+  DeliveryAction& operator=(DeliveryAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  DeliveryAction(const DeliveryAction&) = delete;
+  DeliveryAction& operator=(const DeliveryAction&) = delete;
+  ~DeliveryAction() { reset(); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    reset();
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &OpsFor<D, /*Inline=*/true>::ops;
+    } else {
+      *reinterpret_cast<D**>(static_cast<void*>(buf_)) = new D(std::forward<F>(f));
+      ops_ = &OpsFor<D, /*Inline=*/false>::ops;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Invokes the held handler. Requires non-empty.
+  void operator()(DeliveryContext& ctx) { ops_->invoke(buf_, ctx); }
+
+  /// Invokes once and destroys (fused fire-and-free) — the bucket
+  /// dispatch path. Requires non-empty.
+  void consume(DeliveryContext& ctx) {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->consume(buf_, ctx);
+  }
+
+  [[nodiscard]] bool stored_inline() const noexcept {
+    return ops_ != nullptr && ops_->inline_stored;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage, DeliveryContext& ctx);
+    void (*consume)(void* storage, DeliveryContext& ctx);
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool inline_stored;
+  };
+
+  template <typename D>
+  [[nodiscard]] static constexpr bool fits_inline() noexcept {
+    return sizeof(D) <= kInlineCapacity &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D, bool Inline>
+  struct OpsFor;
+
+  template <typename D>
+  struct OpsFor<D, true> {
+    static D* self(void* p) noexcept { return std::launder(reinterpret_cast<D*>(p)); }
+    static void invoke(void* p, DeliveryContext& ctx) { (*self(p))(ctx); }
+    static void consume(void* p, DeliveryContext& ctx) {
+      D* s = self(p);
+      struct Guard {
+        D* d;
+        ~Guard() { d->~D(); }
+      } guard{s};
+      (*s)(ctx);
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      D* s = self(src);
+      ::new (dst) D(std::move(*s));
+      s->~D();
+    }
+    static void destroy(void* p) noexcept { self(p)->~D(); }
+    static constexpr Ops ops = {&invoke, &consume, &relocate, &destroy, true};
+  };
+
+  template <typename D>
+  struct OpsFor<D, false> {
+    static D* held(void* p) noexcept {
+      return *std::launder(reinterpret_cast<D**>(p));
+    }
+    static void invoke(void* p, DeliveryContext& ctx) { (*held(p))(ctx); }
+    static void consume(void* p, DeliveryContext& ctx) {
+      struct Guard {
+        D* h;
+        ~Guard() { delete h; }
+      } guard{held(p)};
+      (*guard.h)(ctx);
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      std::memcpy(dst, src, sizeof(D*));
+    }
+    static void destroy(void* p) noexcept { delete held(p); }
+    static constexpr Ops ops = {&invoke, &consume, &relocate, &destroy, false};
+  };
+
+  void move_from(DeliveryAction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+/// A sharded continuation recorded by DeliveryContext::forward — a
+/// local (no wire charge, no liveness filter) delivery to run at
+/// `when` on receiver `to`'s shard.
+struct LocalForward {
+  std::uint32_t to = 0;
+  SimTime when = 0.0;
+  DeliveryAction action;
+};
+
+/// Per-shard buffers a worker fills during a forked bucket dispatch;
+/// the join drains them in shard order.
+struct DeliveryShardScratch {
+  /// Join-deferred operations: network sends, push relays — anything
+  /// that touches shared engine state. Run directly (not scheduled) at
+  /// the join, so the immediate-mode equivalent is an inline call.
+  std::vector<sim::EventAction> deferred;
+  /// Sharded continuations (stage-3 fluid-model deliveries).
+  std::vector<LocalForward> forwards;
+  /// Liveness-filter drops observed by this shard.
+  std::uint64_t dropped = 0;
+  void reset() noexcept {
+    deferred.clear();
+    forwards.clear();
+    dropped = 0;
+  }
+};
+
+/// Execution context handed to a sharded delivery handler.
+///
+/// Receiver-shard ownership contract: a handler invoked with a
+/// parallel() context runs on a worker thread and may write ONLY the
+/// receiving node's own state (buffers, in-flight tables, link-rate
+/// estimators, neighbor supply fields, up/downlink bookings) plus the
+/// per-shard scratch behind scratch(). Cross-node reads are limited to
+/// state frozen for the whole bucket (liveness flags, inbound rates,
+/// other nodes' buffer windows). Everything else — event scheduling,
+/// network sends, cross-node writes, shared-RNG draws — goes through
+/// defer()/forward(), which the join settles serially in shard order.
+///
+/// In continuous mode (and for the serial entries of a bucket) the
+/// context is "immediate": defer() runs its argument inline and
+/// forward() schedules directly, so a handler written against this API
+/// executes bit-identically to its pre-context serial form.
+class DeliveryContext {
+ public:
+  /// Shard index (0 in immediate mode).
+  [[nodiscard]] std::size_t shard() const noexcept { return shard_; }
+
+  /// True when running forked on a worker shard.
+  [[nodiscard]] bool parallel() const noexcept { return scratch_buf_ != nullptr; }
+
+  /// Session-installed per-shard stats scratch (the live SessionStats
+  /// in immediate mode). Never null once hooks are installed.
+  [[nodiscard]] void* scratch() const noexcept { return user_scratch_; }
+
+  /// Defers `f` to the join (shard order, record order within the
+  /// shard); runs it inline in immediate mode.
+  template <typename F>
+  void defer(F&& f) {
+    if (scratch_buf_ != nullptr) {
+      scratch_buf_->deferred.emplace_back(std::forward<F>(f));
+    } else {
+      f();
+    }
+  }
+
+  /// Schedules a local sharded continuation for receiver `to` at
+  /// absolute time `when` (snapped to the latency grid in quantized
+  /// mode). No wire charge, no liveness filter — the handler guards
+  /// its own aliveness like any local event. Defined in network.hpp
+  /// (the immediate-mode path needs the full Network type).
+  template <typename F>
+  void forward(std::size_t to, SimTime when, F&& handler);
+
+ private:
+  friend class Network;
+  DeliveryContext(Network* net, std::size_t shard, void* user_scratch,
+                  DeliveryShardScratch* buf) noexcept
+      : net_(net), shard_(shard), user_scratch_(user_scratch), scratch_buf_(buf) {}
+
+  Network* net_;
+  std::size_t shard_;
+  void* user_scratch_;
+  DeliveryShardScratch* scratch_buf_;
+};
+
+}  // namespace continu::net

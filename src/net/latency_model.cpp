@@ -3,30 +3,44 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/rng.hpp"
+
 namespace continu::net {
 
-LatencyModel::LatencyModel(std::vector<double> ping_ms, double floor_ms)
-    : ping_ms_(std::move(ping_ms)), floor_ms_(floor_ms) {
+LatencyModel::LatencyModel(std::vector<double> ping_ms, double floor_ms,
+                           double grid_ms)
+    : ping_ms_(std::move(ping_ms)), floor_ms_(floor_ms), grid_ms_(grid_ms) {
   if (ping_ms_.empty()) {
     throw std::invalid_argument("LatencyModel: need at least one node");
   }
   if (floor_ms_ < 0.0) {
     throw std::invalid_argument("LatencyModel: floor must be non-negative");
   }
+  if (grid_ms_ < 0.0) {
+    throw std::invalid_argument("LatencyModel: grid must be non-negative");
+  }
 }
 
-LatencyModel LatencyModel::from_trace(const trace::TraceSnapshot& snapshot, double floor_ms) {
+LatencyModel LatencyModel::from_trace(const trace::TraceSnapshot& snapshot,
+                                      double floor_ms, double grid_ms) {
   std::vector<double> pings;
   pings.reserve(snapshot.node_count());
   for (const auto& node : snapshot.nodes()) {
     pings.push_back(node.ping_ms);
   }
-  return LatencyModel(std::move(pings), floor_ms);
+  return LatencyModel(std::move(pings), floor_ms, grid_ms);
+}
+
+double LatencyModel::quantize_up_ms(double ms) const {
+  if (grid_ms_ <= 0.0) return ms;
+  // ceil snaps strictly-between values to the NEXT point and leaves
+  // exact grid points alone (ms/grid is integral there).
+  return std::ceil(ms / grid_ms_) * grid_ms_;
 }
 
 double LatencyModel::latency_ms(std::size_t a, std::size_t b) const {
   const double diff = std::abs(ping_ms_.at(a) - ping_ms_.at(b));
-  return std::max(diff, floor_ms_);
+  return quantize_up_ms(std::max(diff, floor_ms_));
 }
 
 SimTime LatencyModel::latency_s(std::size_t a, std::size_t b) const {
@@ -39,11 +53,11 @@ SimTime LatencyModel::rtt_s(std::size_t a, std::size_t b) const {
 
 double LatencyModel::average_latency_ms() const {
   const std::size_t n = ping_ms_.size();
-  if (n < 2) return floor_ms_;
-  // Exact for small n; strided sampling beyond that keeps this O(n).
+  if (n < 2) return quantize_up_ms(floor_ms_);
   double total = 0.0;
   std::size_t pairs = 0;
   if (n <= 512) {
+    // Exact for small n.
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
         total += latency_ms(i, j);
@@ -51,15 +65,25 @@ double LatencyModel::average_latency_ms() const {
       }
     }
   } else {
-    const std::size_t stride = n / 512 + 1;
-    for (std::size_t i = 0; i < n; i += stride) {
-      for (std::size_t j = i + 1; j < n; j += stride) {
-        total += latency_ms(i, j);
-        ++pairs;
-      }
+    // Fixed-size uniform pair sample, deterministically seeded from n
+    // alone: the estimate is a pure function of the ping vector, and
+    // the sample size no longer cliffs at the n = 513 stride jump the
+    // old lattice sweep had. The tiny modulo bias (n << 2^64) is the
+    // same for every platform and run.
+    constexpr std::size_t kSamplePairs = 4096;
+    std::uint64_t seed =
+        0x9e3779b97f4a7c15ULL ^ (static_cast<std::uint64_t>(n) * 0xbf58476d1ce4e5b9ULL);
+    for (std::size_t k = 0; k < kSamplePairs; ++k) {
+      const std::size_t i =
+          static_cast<std::size_t>(util::splitmix64(seed) % n);
+      std::size_t j =
+          static_cast<std::size_t>(util::splitmix64(seed) % (n - 1));
+      if (j >= i) ++j;  // uniform over j != i
+      total += latency_ms(i, j);
+      ++pairs;
     }
   }
-  return pairs == 0 ? floor_ms_ : total / static_cast<double>(pairs);
+  return pairs == 0 ? quantize_up_ms(floor_ms_) : total / static_cast<double>(pairs);
 }
 
 std::size_t LatencyModel::add_node(double ping_ms) {

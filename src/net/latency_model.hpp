@@ -2,6 +2,15 @@
 // Pairwise latency model (paper Section 5.2): the physical latency
 // between two overlay nodes is the difference between their real-trace
 // ping times from a central node, clamped below by a small floor.
+//
+// Quantized mode: a positive grid (1-5 ms in practice) snaps every
+// one-way latency UP to the next grid point. Co-instant deliveries
+// then exist by construction — the Network batches every delivery
+// landing on one grid point and shards the batch by receiver — whereas
+// the continuous model guarantees no two deliveries ever share an
+// instant (so per-event delivery cannot fork). Snapping up, never
+// down, keeps every quantized latency >= its continuous value: the
+// grid adds delay, it never invents capacity.
 
 #include <vector>
 
@@ -12,30 +21,45 @@ namespace continu::net {
 
 class LatencyModel {
  public:
-  /// Builds from per-node ping times (milliseconds).
-  explicit LatencyModel(std::vector<double> ping_ms, double floor_ms = 5.0);
+  /// Builds from per-node ping times (milliseconds). grid_ms == 0
+  /// selects the paper's continuous model; grid_ms > 0 quantizes.
+  explicit LatencyModel(std::vector<double> ping_ms, double floor_ms = 5.0,
+                        double grid_ms = 0.0);
 
   /// Builds directly from a trace snapshot.
   [[nodiscard]] static LatencyModel from_trace(const trace::TraceSnapshot& snapshot,
-                                               double floor_ms = 5.0);
+                                               double floor_ms = 5.0,
+                                               double grid_ms = 0.0);
 
   /// One-way latency in seconds between two nodes (by dense index).
   [[nodiscard]] SimTime latency_s(std::size_t a, std::size_t b) const;
 
-  /// One-way latency in milliseconds.
+  /// One-way latency in milliseconds (grid-snapped in quantized mode).
   [[nodiscard]] double latency_ms(std::size_t a, std::size_t b) const;
 
   /// Round-trip time in seconds (2x one-way; the join probe estimates
-  /// latency as RTT/2, which by construction recovers latency_s).
+  /// latency as RTT/2, which by construction recovers latency_s — and
+  /// in quantized mode 2x an on-grid value stays on-grid).
   [[nodiscard]] SimTime rtt_s(std::size_t a, std::size_t b) const;
 
-  /// Average one-way latency over all distinct pairs — the t_hop
-  /// estimate used to seed the urgent ratio alpha (eq. 7). Computed by
-  /// sampling for large n.
+  /// Average one-way latency over distinct pairs — the t_hop estimate
+  /// used to seed the urgent ratio alpha (eq. 7). Exact for n <= 512;
+  /// beyond that a fixed-size deterministic pair sample (SplitMix64-
+  /// seeded, reseeded per n) keeps it O(1). The sample visits pairs
+  /// uniformly — unlike the old stride-lattice sweep, whose estimate
+  /// collapsed onto a single index-residue class and was badly biased
+  /// whenever ping times correlated with node index.
   [[nodiscard]] double average_latency_ms() const;
 
   [[nodiscard]] std::size_t node_count() const noexcept { return ping_ms_.size(); }
   [[nodiscard]] double floor_ms() const noexcept { return floor_ms_; }
+  /// Quantization grid in milliseconds; 0 = continuous.
+  [[nodiscard]] double grid_ms() const noexcept { return grid_ms_; }
+  [[nodiscard]] bool quantized() const noexcept { return grid_ms_ > 0.0; }
+
+  /// Snaps a millisecond value UP to the next grid point (values
+  /// already on the grid stay put). Identity in continuous mode.
+  [[nodiscard]] double quantize_up_ms(double ms) const;
 
   /// Appends a node (joins during churn) with the given ping time;
   /// returns its index.
@@ -44,6 +68,7 @@ class LatencyModel {
  private:
   std::vector<double> ping_ms_;
   double floor_ms_;
+  double grid_ms_;
 };
 
 }  // namespace continu::net

@@ -1,11 +1,14 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace continu::net {
 
 Network::Network(sim::Simulator& sim, LatencyModel latency)
-    : sim_(sim), latency_(std::move(latency)) {}
+    : sim_(sim),
+      latency_(std::move(latency)),
+      grid_s_(latency_.grid_ms() / 1000.0) {}
 
 void Network::charge_only(MessageType type, Bits bits) {
   traffic_.charge(traffic_class_of(type), bits);
@@ -19,6 +22,123 @@ void Network::charge_only_bulk(MessageType type, Bits bits_each,
 
 void Network::set_delivery_filter(std::function<bool(std::size_t)> filter) {
   filter_ = std::move(filter);
+}
+
+void Network::set_shard_hooks(ShardHooks hooks) { hooks_ = std::move(hooks); }
+
+void Network::enqueue_sharded(std::uint32_t to, SimTime when,
+                              DeliveryAction action, bool filtered) {
+  // A bucket entirely in the past would never fire (its proxy clamps
+  // to now, which is fine); entries targeting the current instant land
+  // in a bucket whose proxy fires later within this instant.
+  if (when < sim_.now()) when = sim_.now();
+  auto [it, inserted] = buckets_.try_emplace(when);
+  if (inserted) {
+    if (!spare_entry_vecs_.empty()) {
+      it->second.entries = std::move(spare_entry_vecs_.back());
+      spare_entry_vecs_.pop_back();
+    }
+    // One proxy event per bucket, scheduled at bucket creation — its
+    // sequence number (and thus its order among same-instant events)
+    // is a pure function of the delivery schedule.
+    const SimTime time = when;
+    sim_.schedule_at(time, [this, time] { fire_bucket(time); });
+  }
+  it->second.entries.push_back(ShardedEntry{to, filtered, std::move(action)});
+}
+
+void Network::fire_bucket(SimTime time) {
+  const auto it = buckets_.find(time);
+  if (it == buckets_.end()) return;  // defensive: bucket map out of sync
+  std::vector<ShardedEntry> entries = std::move(it->second.entries);
+  buckets_.erase(it);
+  dispatch_bucket(entries);
+  entries.clear();
+  spare_entry_vecs_.push_back(std::move(entries));
+}
+
+void Network::dispatch_bucket(std::vector<ShardedEntry>& entries) {
+  ++delivery_batches_;
+  batched_deliveries_ += entries.size();
+
+  // Group by receiver, first-appearance order: the group list (and so
+  // the shard boundaries) is a pure function of the delivery schedule.
+  // Within a group, entries keep schedule order — per-pair FIFO holds.
+  if (group_slot_.size() < latency_.node_count()) {
+    group_slot_.resize(latency_.node_count(), kNoGroup);
+  }
+  groups_used_ = 0;
+  for (std::uint32_t i = 0; i < entries.size(); ++i) {
+    const std::uint32_t to = entries[i].to;
+    std::uint32_t slot = group_slot_[to];
+    if (slot == kNoGroup) {
+      slot = static_cast<std::uint32_t>(groups_used_);
+      if (groups_used_ == groups_.size()) groups_.emplace_back();
+      groups_[groups_used_].to = to;
+      groups_[groups_used_].entry_indices.clear();
+      ++groups_used_;
+      group_slot_[to] = slot;
+    }
+    groups_[slot].entry_indices.push_back(i);
+  }
+  for (std::size_t g = 0; g < groups_used_; ++g) group_slot_[groups_[g].to] = kNoGroup;
+
+  const std::size_t count = groups_used_;
+  const std::size_t shards =
+      sim::parallel::ParallelExecutor::shard_count(count, kReceiverGrain);
+  if (shards == 0) return;
+  if (shard_scratch_.size() < shards) shard_scratch_.resize(shards);
+  for (std::size_t s = 0; s < shards; ++s) shard_scratch_[s].reset();
+  if (hooks_.on_fork) hooks_.on_fork(shards);
+
+  // Fork. A worker owns a contiguous run of receiver groups; every
+  // write it performs lands either in its receivers' own node state
+  // (the handler contract) or in its private DeliveryShardScratch.
+  const auto body = [&](std::size_t s, std::size_t begin, std::size_t end) {
+    DeliveryShardScratch& scratch = shard_scratch_[s];
+    void* user = hooks_.scratch ? hooks_.scratch(s) : hooks_.serial_scratch;
+    DeliveryContext ctx(this, s, user, &scratch);
+    for (std::size_t g = begin; g < end; ++g) {
+      const ReceiverGroup& group = groups_[g];
+      for (const std::uint32_t index : group.entry_indices) {
+        ShardedEntry& entry = entries[index];
+        if (entry.filtered && filter_ && !filter_(entry.to)) {
+          ++scratch.dropped;
+          entry.action.reset();
+          continue;
+        }
+        entry.action.consume(ctx);
+      }
+    }
+  };
+  if (exec_ != nullptr) {
+    exec_->for_shards(count, kReceiverGrain, body);
+  } else {
+    // Inline fallback with the executor's exact shard decomposition,
+    // so a Network used without a pool is still bit-identical to one
+    // forked at any width.
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::size_t begin = s * kReceiverGrain;
+      body(s, begin, std::min(count, begin + kReceiverGrain));
+    }
+  }
+
+  // Join, in shard order. Drops first (pure sums), then the session
+  // reduces its stats scratch, then each shard's buffered work runs
+  // serially: forwards (stage-3 continuations into future buckets)
+  // before deferred operations (sends, relays) — a fixed, thread-count
+  // independent replay order.
+  for (std::size_t s = 0; s < shards; ++s) dropped_ += shard_scratch_[s].dropped;
+  if (hooks_.on_join) hooks_.on_join(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    DeliveryShardScratch& scratch = shard_scratch_[s];
+    for (LocalForward& forward : scratch.forwards) {
+      enqueue_sharded(forward.to, quantize_up_s(forward.when),
+                      std::move(forward.action), /*filtered=*/false);
+    }
+    for (sim::EventAction& op : scratch.deferred) op.consume();
+    scratch.reset();
+  }
 }
 
 }  // namespace continu::net

@@ -3,14 +3,41 @@
 // and hands the payload callback to the simulator. Node-level protocol
 // logic lives above this layer (overlay/, core/); the network knows
 // nothing about segments or DHT semantics.
+//
+// Two delivery modes, selected by the LatencyModel's grid:
+//
+//   continuous (grid 0, the paper's model) — every send schedules its
+//   own simulator event at the exact latency instant. No two
+//   deliveries share an instant, so delivery handlers run serially.
+//
+//   quantized (grid > 0) — delivery instants snap UP to the latency
+//   grid, so all deliveries landing on one grid point form a batch.
+//   The batch hides behind ONE proxy event; when it fires, sharded
+//   deliveries are grouped by receiver and forked across the session's
+//   ParallelExecutor. Workers run their receivers' handlers in
+//   schedule order (per-pair FIFO is preserved — a receiver's
+//   deliveries never split across shards) and buffer everything they
+//   may not do from a worker thread; the join settles those buffers in
+//   shard order, so the result is bit-identical at every thread count.
+//
+// send() keeps the serial handler contract in both modes (quantized
+// mode merely snaps its instant); send_sharded()/post_sharded() carry
+// the handlers that fork, and hand them a DeliveryContext in either
+// mode — immediate in continuous mode, per-shard in quantized mode.
 
+#include <cmath>
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
+#include "net/delivery.hpp"
 #include "net/latency_model.hpp"
 #include "net/message.hpp"
 #include "net/traffic.hpp"
+#include "sim/parallel/executor.hpp"
 #include "sim/simulator.hpp"
 #include "util/types.hpp"
 
@@ -18,13 +45,32 @@ namespace continu::net {
 
 class Network {
  public:
+  /// Session-installed callbacks bracketing a forked bucket dispatch.
+  /// The network cannot know the session's stats type, so the session
+  /// provides per-shard scratch pointers and the reduction points.
+  struct ShardHooks {
+    /// Called before the fork with the shard count (resize scratch).
+    std::function<void(std::size_t shards)> on_fork;
+    /// Per-shard scratch pointer, valid between on_fork and on_join.
+    std::function<void*(std::size_t shard)> scratch;
+    /// Called at the join, before deferred work runs: reduce the
+    /// per-shard scratch into shared state, in shard order.
+    std::function<void(std::size_t shards)> on_join;
+    /// Scratch handed to immediate-mode contexts (continuous-mode
+    /// deliveries): typically the live stats object itself.
+    void* serial_scratch = nullptr;
+  };
+
   Network(sim::Simulator& sim, LatencyModel latency);
 
   /// Sends a message of `type` and `bits` from `from` to `to`; runs
   /// `on_delivery` after the one-way latency (+ extra_delay, e.g. the
   /// payload transfer time computed by the sender's rate controller).
   /// Dropped silently if a drop filter rejects the destination (dead
-  /// node) — exactly like a UDP packet into the void.
+  /// node) — exactly like a UDP packet into the void. The handler runs
+  /// SERIALLY in both modes (quantized mode only snaps the instant);
+  /// use send_sharded for handlers that obey the receiver-shard
+  /// ownership contract.
   ///
   /// Templated so the delivery capture is stored FLAT inside the
   /// scheduled event (callback + 16 bytes of filter state), keeping
@@ -40,8 +86,62 @@ class Network {
     // not the destination is still alive.
     traffic_.charge(traffic_class_of(type), bits);
     const SimTime delay = latency_.latency_s(from, to) + extra_delay;
-    sim_.schedule_in(
-        delay, Delivery<std::decay_t<F>>{this, to, std::forward<F>(on_delivery)});
+    if (grid_s_ > 0.0) {
+      sim_.schedule_at(
+          quantize_up_s(sim_.now() + delay),
+          Delivery<std::decay_t<F>>{this, to, std::forward<F>(on_delivery)});
+    } else {
+      sim_.schedule_in(
+          delay, Delivery<std::decay_t<F>>{this, to, std::forward<F>(on_delivery)});
+    }
+  }
+
+  /// Like send(), but the handler takes a DeliveryContext& and obeys
+  /// the receiver-shard ownership contract (see delivery.hpp). In
+  /// quantized mode the delivery joins its grid bucket and may run on
+  /// a worker shard; in continuous mode it runs serially with an
+  /// immediate context — bit-identical to a send() of the same logic.
+  template <typename F>
+  void send_sharded(std::size_t from, std::size_t to, MessageType type, Bits bits,
+                    F&& on_delivery, SimTime extra_delay = 0.0) {
+    traffic_.charge(traffic_class_of(type), bits);
+    const SimTime delay = latency_.latency_s(from, to) + extra_delay;
+    if (grid_s_ > 0.0) {
+      enqueue_sharded(static_cast<std::uint32_t>(to),
+                      quantize_up_s(sim_.now() + delay),
+                      DeliveryAction(std::forward<F>(on_delivery)),
+                      /*filtered=*/true);
+    } else {
+      static_assert(sizeof(ShardedDelivery<std::decay_t<F>>) <=
+                        sim::EventAction::kInlineCapacity,
+                    "sharded delivery capture exceeds the inline event-action "
+                    "buffer; shrink the capture (pack indices)");
+      sim_.schedule_in(delay,
+                       ShardedDelivery<std::decay_t<F>>{
+                           this, static_cast<std::uint32_t>(to),
+                           std::forward<F>(on_delivery)});
+    }
+  }
+
+  /// Schedules a LOCAL sharded continuation on receiver `to` at
+  /// absolute time `when` — no wire charge, no liveness filter (the
+  /// handler guards its own aliveness, like any local event). Stage 3
+  /// of the fluid transfer model (downlink completion) rides this, so
+  /// delivery completions fork alongside arrivals in quantized mode.
+  template <typename F>
+  void post_sharded(std::size_t to, SimTime when, F&& handler) {
+    if (grid_s_ > 0.0) {
+      enqueue_sharded(static_cast<std::uint32_t>(to), quantize_up_s(when),
+                      DeliveryAction(std::forward<F>(handler)),
+                      /*filtered=*/false);
+    } else {
+      static_assert(sizeof(ImmediateInvoke<std::decay_t<F>>) <=
+                        sim::EventAction::kInlineCapacity,
+                    "sharded continuation capture exceeds the inline "
+                    "event-action buffer; shrink the capture");
+      sim_.schedule_at(when, ImmediateInvoke<std::decay_t<F>>{
+                                 this, std::forward<F>(handler)});
+    }
   }
 
   /// Charges traffic for a message without scheduling delivery (used
@@ -56,7 +156,18 @@ class Network {
   void charge_only_bulk(MessageType type, Bits bits_each, std::uint64_t messages);
 
   /// Installs the liveness filter; return false to drop deliveries.
+  /// Called from worker shards during a forked bucket dispatch, so it
+  /// must only read state frozen for the bucket (liveness flags).
   void set_delivery_filter(std::function<bool(std::size_t to)> filter);
+
+  /// Installs the executor forked bucket dispatches run on. Without
+  /// one, quantized buckets dispatch inline through the IDENTICAL
+  /// shard structure (grouping, contexts, join order), so results
+  /// match a pooled run bit for bit.
+  void set_executor(sim::parallel::ParallelExecutor* exec) noexcept { exec_ = exec; }
+
+  /// Installs the session's fork/join scratch hooks (see ShardHooks).
+  void set_shard_hooks(ShardHooks hooks);
 
   [[nodiscard]] const TrafficAccount& traffic() const noexcept { return traffic_; }
   [[nodiscard]] TrafficAccount& traffic() noexcept { return traffic_; }
@@ -64,10 +175,27 @@ class Network {
   [[nodiscard]] LatencyModel& latency() noexcept { return latency_; }
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
 
-  /// Count of messages dropped by the liveness filter.
+  /// True when the latency model carries a quantization grid.
+  [[nodiscard]] bool quantized() const noexcept { return grid_s_ > 0.0; }
+  /// The delivery grid in seconds (0 in continuous mode).
+  [[nodiscard]] SimTime grid_s() const noexcept { return grid_s_; }
+
+  /// Count of messages dropped by the liveness filter (surfaced as
+  /// SessionStats::deliveries_dropped — a filter regression is visible
+  /// to the fingerprint oracle, not silently swallowed).
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Buckets fired in quantized mode (0 in continuous mode).
+  [[nodiscard]] std::uint64_t delivery_batches() const noexcept {
+    return delivery_batches_;
+  }
+  /// Deliveries dispatched through bucket batches.
+  [[nodiscard]] std::uint64_t batched_deliveries() const noexcept {
+    return batched_deliveries_;
+  }
 
  private:
+  friend class DeliveryContext;
+
   template <typename F>
   struct Delivery {
     Network* net;
@@ -82,11 +210,110 @@ class Network {
     }
   };
 
+  /// Continuous-mode wrapper for a sharded handler: filter check, then
+  /// invoke with an immediate context.
+  template <typename F>
+  struct ShardedDelivery {
+    Network* net;
+    std::uint32_t to;
+    F fn;
+    void operator()() {
+      if (net->filter_ && !net->filter_(to)) {
+        ++net->dropped_;
+        return;
+      }
+      DeliveryContext ctx(net, 0, net->hooks_.serial_scratch, nullptr);
+      fn(ctx);
+    }
+  };
+
+  /// Continuous-mode wrapper for a local sharded continuation (no
+  /// filter — mirrors a plain scheduled event).
+  template <typename F>
+  struct ImmediateInvoke {
+    Network* net;
+    F fn;
+    void operator()() {
+      DeliveryContext ctx(net, 0, net->hooks_.serial_scratch, nullptr);
+      fn(ctx);
+    }
+  };
+
+  /// One delivery awaiting its grid bucket.
+  struct ShardedEntry {
+    std::uint32_t to = 0;
+    bool filtered = true;  ///< wire message (liveness-checked) vs local
+    DeliveryAction action;
+  };
+  struct Bucket {
+    std::vector<ShardedEntry> entries;
+  };
+  /// Receiver group: indices into the bucket's entry list, in schedule
+  /// order, for one receiver.
+  struct ReceiverGroup {
+    std::uint32_t to = 0;
+    std::vector<std::uint32_t> entry_indices;
+  };
+
+  [[nodiscard]] SimTime quantize_up_s(SimTime t) const {
+    return std::ceil(t / grid_s_) * grid_s_;
+  }
+
+  /// Appends a delivery to its grid bucket, creating the bucket (and
+  /// its proxy event) on first use.
+  void enqueue_sharded(std::uint32_t to, SimTime when, DeliveryAction action,
+                       bool filtered);
+  /// Proxy-event body: detaches the bucket at `time` and dispatches it.
+  void fire_bucket(SimTime time);
+  /// Groups by receiver, forks across shards, settles the join.
+  void dispatch_bucket(std::vector<ShardedEntry>& entries);
+
   sim::Simulator& sim_;
   LatencyModel latency_;
   TrafficAccount traffic_;
   std::function<bool(std::size_t)> filter_;
   std::uint64_t dropped_ = 0;
+
+  // --- quantized mode ----------------------------------------------------
+  /// Receivers per shard of a bucket dispatch. Small on purpose: a
+  /// 1 ms bucket of a static_8k session carries on the order of a
+  /// hundred receivers, and the grain bounds both the shard count and
+  /// the per-shard imbalance.
+  static constexpr std::size_t kReceiverGrain = 8;
+  static constexpr std::uint32_t kNoGroup = 0xFFFFFFFFu;
+
+  SimTime grid_s_ = 0.0;
+  sim::parallel::ParallelExecutor* exec_ = nullptr;
+  ShardHooks hooks_;
+  /// Pending buckets by fire time. std::map: iteration order never
+  /// matters (each bucket owns a proxy event), but deterministic
+  /// structure keeps debugging sane; the handful of in-flight buckets
+  /// makes the log-factor irrelevant.
+  std::map<SimTime, Bucket> buckets_;
+  /// Recycled entry vectors (buckets churn every grid step).
+  std::vector<std::vector<ShardedEntry>> spare_entry_vecs_;
+  /// Dispatch scratch, reused across buckets.
+  std::vector<ReceiverGroup> groups_;
+  std::size_t groups_used_ = 0;
+  std::vector<std::uint32_t> group_slot_;
+  std::vector<DeliveryShardScratch> shard_scratch_;
+  std::uint64_t delivery_batches_ = 0;
+  std::uint64_t batched_deliveries_ = 0;
 };
+
+/// Immediate-mode forward: defined here (not in delivery.hpp) because
+/// it needs the full Network type. In quantized-fork mode the context
+/// buffers instead, so this template only instantiates the
+/// continuous-mode path.
+template <typename F>
+void DeliveryContext::forward(std::size_t to, SimTime when, F&& handler) {
+  if (scratch_buf_ != nullptr) {
+    scratch_buf_->forwards.push_back(LocalForward{
+        static_cast<std::uint32_t>(to), when,
+        DeliveryAction(std::forward<F>(handler))});
+  } else {
+    net_->post_sharded(to, when, std::forward<F>(handler));
+  }
+}
 
 }  // namespace continu::net

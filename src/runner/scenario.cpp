@@ -14,6 +14,7 @@ core::SystemConfig Scenario::make_config(std::uint64_t seed) const {
   config.connected_neighbors = connected_neighbors;
   config.heterogeneous_bandwidth = heterogeneous_bandwidth;
   config.playback_rate = playback_rate;
+  config.latency_grid_ms = latency_grid_ms;
   if (churn) {
     config.churn_enabled = true;
     config.churn.leave_fraction = churn_fraction;
@@ -38,6 +39,7 @@ Scenario Scenario::with(const ScenarioOverrides& o, std::string derived_name) co
   if (o.backup_replicas) s.backup_replicas = *o.backup_replicas;
   if (o.prefetch_limit) s.prefetch_limit = *o.prefetch_limit;
   if (o.scheduler) s.scheduler = *o.scheduler;
+  if (o.latency_grid_ms) s.latency_grid_ms = *o.latency_grid_ms;
   if (o.trace_seed) s.trace_seed = *o.trace_seed;
   if (o.duration) s.duration = *o.duration;
   if (o.stable_from) s.stable_from = *o.stable_from;
@@ -235,6 +237,33 @@ namespace {
     families.push_back(base.with(o, "fig11_static_" + std::to_string(n)));
     o.churn = true;
     families.push_back(base.with(o, "fig11_dynamic_" + std::to_string(n)));
+  }
+
+  // --- quantized-network family -------------------------------------------
+  // Matrix bases re-run under the quantized latency mode at 1/2/5 ms
+  // grids: "q1_static_1k" is static_1k — same trace, same seeds — with
+  // deliveries snapped to a 1 ms grid and dispatched as receiver-sharded
+  // batches. The continuous/quantized pairs are what the committed
+  // divergence study (bench_quantized_divergence) sweeps.
+  {
+    const std::vector<Scenario> matrix = build_matrix();
+    const auto matrix_base = [&matrix](const std::string& name) {
+      return *std::find_if(matrix.begin(), matrix.end(),
+                           [&name](const Scenario& s) { return s.name == name; });
+    };
+    for (const double grid : {1.0, 2.0, 5.0}) {
+      const std::string prefix = "q" + std::to_string(static_cast<int>(grid)) + "_";
+      for (const char* name :
+           {"static_small", "static_1k", "dynamic_1k", "static_8k", "thin_replicas"}) {
+        Scenario b = matrix_base(name);
+        ScenarioOverrides o;
+        o.latency_grid_ms = grid;
+        Scenario s = b.with(o, prefix + b.name);
+        s.description = b.description + " [quantized " +
+                        std::to_string(static_cast<int>(grid)) + " ms latency grid]";
+        families.push_back(std::move(s));
+      }
+    }
   }
 
   return families;

@@ -39,6 +39,13 @@ struct Scenario {
   /// Playback rate p in segments/second (the paper's 300 Kbps stream).
   std::uint64_t playback_rate = 10;
 
+  // --- network ------------------------------------------------------------
+  /// Latency quantization grid in ms (0 = continuous pairwise model).
+  /// Positive values select the quantized network mode: delivery
+  /// instants snap UP to the grid and co-instant deliveries dispatch as
+  /// receiver-sharded batches.
+  double latency_grid_ms = 0.0;
+
   // --- trace --------------------------------------------------------------
   std::uint64_t trace_seed = 1;
   double average_degree = 2.5;
@@ -73,6 +80,7 @@ struct ScenarioOverrides {
   std::optional<unsigned> backup_replicas;
   std::optional<unsigned> prefetch_limit;
   std::optional<core::SchedulerKind> scheduler;
+  std::optional<double> latency_grid_ms;  ///< network quantization grid
   std::optional<std::uint64_t> trace_seed;
   std::optional<double> duration;
   std::optional<double> stable_from;

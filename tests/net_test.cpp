@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "net/latency_model.hpp"
 #include "net/message.hpp"
 #include "net/network.hpp"
@@ -209,6 +214,273 @@ TEST(Network, OrderedDeliveriesBetweenSamePair) {
   net.send(0, 1, MessageType::kPing, 80, [&] { order.push_back(2); });
   sim.run_all();
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Latency grid (quantized mode)
+// ---------------------------------------------------------------------------
+
+TEST(LatencyModel, GridSnapsUpNeverDown) {
+  const LatencyModel model({0.0, 7.0}, 5.0, 2.0);
+  // 7 ms is strictly between grid points: snaps UP to 8, never to 6.
+  EXPECT_DOUBLE_EQ(model.latency_ms(0, 1), 8.0);
+  // The floor itself quantizes: floored pairs land on ceil(5/2)*2 = 6.
+  const LatencyModel floored({10.0, 10.0}, 5.0, 2.0);
+  EXPECT_DOUBLE_EQ(floored.latency_ms(0, 1), 6.0);
+}
+
+TEST(LatencyModel, GridPointExactVsEpsilonBelow) {
+  const LatencyModel model({0.0}, 5.0, 2.0);
+  // A value exactly ON the grid stays put...
+  EXPECT_DOUBLE_EQ(model.quantize_up_ms(6.0), 6.0);
+  EXPECT_DOUBLE_EQ(model.quantize_up_ms(0.0), 0.0);
+  // ...while epsilon below a grid point still snaps to that point, and
+  // epsilon above snaps to the NEXT one — snapping is never downward.
+  EXPECT_DOUBLE_EQ(model.quantize_up_ms(5.9999999), 6.0);
+  EXPECT_DOUBLE_EQ(model.quantize_up_ms(6.0000001), 8.0);
+  // Continuous mode (grid 0) is the identity.
+  const LatencyModel continuous({0.0}, 5.0, 0.0);
+  EXPECT_DOUBLE_EQ(continuous.quantize_up_ms(7.3), 7.3);
+}
+
+TEST(LatencyModel, QuantizedRttIsSymmetricAndOnGrid) {
+  const LatencyModel model({3.0, 17.5, 41.2}, 5.0, 2.0);
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      EXPECT_DOUBLE_EQ(model.rtt_s(a, b), model.rtt_s(b, a));
+      EXPECT_DOUBLE_EQ(model.rtt_s(a, b), 2.0 * model.latency_s(a, b));
+      // 2x an on-grid latency is still a whole number of grid steps.
+      const double steps = model.rtt_s(a, b) * 1000.0 / model.grid_ms();
+      EXPECT_NEAR(steps, std::round(steps), 1e-9) << a << "," << b;
+    }
+  }
+}
+
+TEST(LatencyModel, FloorZeroAllowsZeroLatency) {
+  // floor_ms = 0 with identical pings: zero one-way latency is legal
+  // (the model never goes negative) and quantization keeps 0 at 0 —
+  // ceil(0/grid) is 0, so a zero latency never inflates to one grid.
+  const LatencyModel model({25.0, 25.0}, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(model.latency_ms(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(model.rtt_s(0, 1), 0.0);
+  const LatencyModel continuous({25.0, 25.0}, 0.0);
+  EXPECT_DOUBLE_EQ(continuous.latency_ms(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(continuous.average_latency_ms(), 0.0);
+}
+
+TEST(LatencyModel, AddNodeDuringChurnKeepsAverageSane) {
+  // Grow a model across the exact/sampled boundary (n = 512) the way
+  // churn joins do, and require the average to stay inside the hard
+  // [floor, max-pairwise] envelope at every size — the old lattice
+  // sweep could leave this envelope on adversarial vectors.
+  LatencyModel model({0.0, 40.0}, 5.0);
+  double max_ping = 40.0;
+  for (std::size_t k = 2; k < 600; ++k) {
+    const double ping = static_cast<double>((k * 37) % 200);
+    max_ping = std::max(max_ping, ping);
+    model.add_node(ping);
+    if (k % 97 == 0 || k >= 510) {
+      const double avg = model.average_latency_ms();
+      EXPECT_GE(avg, model.floor_ms()) << "n=" << k + 1;
+      EXPECT_LE(avg, max_ping) << "n=" << k + 1;
+    }
+  }
+  // Deterministic: same model, same estimate, every call.
+  EXPECT_DOUBLE_EQ(model.average_latency_ms(), model.average_latency_ms());
+}
+
+TEST(LatencyModel, AverageSamplerSurvivesAdversarialIndexCorrelation) {
+  // Regression for the stride-lattice sampling bias. For 512 < n <=
+  // 1024 the old sampler visited only pairs with i even and j odd; on
+  // a ping vector where parity encodes the ping (even index -> 0 ms,
+  // odd -> 100 ms) every sampled pair hit |0 - 100| = 100 ms and the
+  // estimate came out ~2x the true mean. The fixed sampler draws pairs
+  // uniformly, so index structure cannot bias it.
+  const std::size_t n = 600;
+  std::vector<double> pings(n);
+  for (std::size_t i = 0; i < n; ++i) pings[i] = (i % 2 == 0) ? 0.0 : 100.0;
+  const LatencyModel model(pings, 5.0);
+
+  // Ground truth, exact O(n^2).
+  double exact_total = 0.0;
+  std::size_t exact_pairs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      exact_total += model.latency_ms(i, j);
+      ++exact_pairs;
+    }
+  }
+  const double exact = exact_total / static_cast<double>(exact_pairs);
+
+  // The OLD estimator, reproduced verbatim: this is what the shipped
+  // sampler used to compute. It MUST be badly off on this vector —
+  // if this assertion ever fails, the vector stopped being adversarial
+  // and the regression test lost its teeth.
+  const std::size_t stride = n / 512 + 1;
+  double old_total = 0.0;
+  std::size_t old_pairs = 0;
+  for (std::size_t i = 0; i < n; i += stride) {
+    for (std::size_t j = i + 1; j < n; j += stride) {
+      old_total += model.latency_ms(i, j);
+      ++old_pairs;
+    }
+  }
+  const double old_estimate = old_total / static_cast<double>(old_pairs);
+  ASSERT_GT(std::abs(old_estimate - exact) / exact, 0.5)
+      << "old lattice estimate " << old_estimate << " vs exact " << exact;
+
+  // The fixed sampler lands within a few percent of the exact mean.
+  const double estimate = model.average_latency_ms();
+  EXPECT_LT(std::abs(estimate - exact) / exact, 0.05)
+      << "sampled " << estimate << " vs exact " << exact;
+}
+
+// ---------------------------------------------------------------------------
+// Quantized delivery batching
+// ---------------------------------------------------------------------------
+
+TEST(Network, QuantizedSendSnapsDeliveryInstantUp) {
+  sim::Simulator sim;
+  // Pings 10/17: one-way 7 ms -> 10 ms on the 5 ms grid.
+  Network net(sim, LatencyModel({10.0, 17.0}, 5.0, 5.0));
+  double delivered_at = -1.0;
+  net.send(0, 1, MessageType::kPing, 80, [&] { delivered_at = sim.now(); });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(delivered_at, 0.010);
+
+  // extra_delay lands off-grid (10 ms latency + 1.2 ms payload) and the
+  // TOTAL instant snaps: 11.2 -> 15 ms after the send.
+  delivered_at = -1.0;
+  net.send(0, 1, MessageType::kSegmentData, 30720, [&] { delivered_at = sim.now(); },
+           /*extra_delay=*/0.0012);
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(delivered_at, 0.025);  // 0.010 (now) + 11.2 ms -> 25 ms
+}
+
+TEST(Network, QuantizedCoInstantDeliveriesFormOneBatch) {
+  sim::Simulator sim;
+  // All pairwise latencies floor to 5 ms -> one 5 ms grid bucket.
+  Network net(sim, LatencyModel({10.0, 11.0, 12.0, 13.0}, 5.0, 5.0));
+  std::vector<std::uint32_t> delivered;
+  std::vector<double> instants;
+  for (std::uint32_t to = 1; to < 4; ++to) {
+    net.send_sharded(0, to, MessageType::kPing, 80,
+                     [&delivered, &instants, &sim, to](DeliveryContext&) {
+                       delivered.push_back(to);
+                       instants.push_back(sim.now());
+                     });
+  }
+  sim.run_all();
+  EXPECT_EQ(net.delivery_batches(), 1u);
+  EXPECT_EQ(net.batched_deliveries(), 3u);
+  EXPECT_EQ(delivered, (std::vector<std::uint32_t>{1, 2, 3}));
+  for (const double t : instants) EXPECT_DOUBLE_EQ(t, 0.005);
+}
+
+TEST(Network, QuantizedSamePairKeepsFifoWithinBucket) {
+  sim::Simulator sim;
+  Network net(sim, LatencyModel({10.0, 11.0}, 5.0, 5.0));
+  std::vector<int> order;
+  net.send_sharded(0, 1, MessageType::kPing, 80,
+                   [&order](DeliveryContext&) { order.push_back(1); });
+  net.send_sharded(0, 1, MessageType::kPing, 80,
+                   [&order](DeliveryContext&) { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(net.delivery_batches(), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Network, QuantizedFilterDropsAreCounted) {
+  sim::Simulator sim;
+  Network net(sim, LatencyModel({10.0, 11.0, 12.0}, 5.0, 5.0));
+  net.set_delivery_filter([](std::size_t to) { return to != 1; });
+  int ran = 0;
+  net.send_sharded(0, 1, MessageType::kPing, 80,
+                   [&ran](DeliveryContext&) { ++ran; });
+  net.send_sharded(0, 2, MessageType::kPing, 80,
+                   [&ran](DeliveryContext&) { ++ran; });
+  sim.run_all();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(net.dropped(), 1u);
+  // Both messages hit the wire regardless.
+  EXPECT_EQ(net.traffic().messages(TrafficClass::kMaintenance), 2u);
+}
+
+TEST(Network, PostShardedSkipsChargeAndFilter) {
+  sim::Simulator sim;
+  Network net(sim, LatencyModel({10.0, 11.0}, 5.0, 5.0));
+  net.set_delivery_filter([](std::size_t) { return false; });
+  double ran_at = -1.0;
+  net.post_sharded(1, 0.0042, [&](DeliveryContext&) { ran_at = sim.now(); });
+  sim.run_all();
+  // Local continuation: no wire traffic, immune to the liveness filter,
+  // snapped onto the grid like any quantized delivery.
+  EXPECT_DOUBLE_EQ(ran_at, 0.005);
+  EXPECT_EQ(net.dropped(), 0u);
+  EXPECT_EQ(net.traffic().messages(TrafficClass::kMaintenance), 0u);
+}
+
+TEST(Network, ContinuousShardedPathsKeepExactTiming) {
+  sim::Simulator sim;
+  Network net(sim, LatencyModel({10.0, 60.0}, 5.0));  // continuous
+  double delivered_at = -1.0;
+  double forwarded_at = -1.0;
+  bool deferred_ran_inline = false;
+  net.send_sharded(0, 1, MessageType::kPing, 80, [&](DeliveryContext& ctx) {
+    delivered_at = sim.now();
+    EXPECT_FALSE(ctx.parallel());
+    EXPECT_EQ(ctx.shard(), 0u);
+    // Immediate mode: defer() runs its argument right here...
+    ctx.defer([&] { deferred_ran_inline = true; });
+    EXPECT_TRUE(deferred_ran_inline);
+    // ...and forward() schedules an exact (unquantized) continuation.
+    ctx.forward(1, sim.now() + 0.0013,
+                [&](DeliveryContext&) { forwarded_at = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(delivered_at, 0.050);
+  EXPECT_DOUBLE_EQ(forwarded_at, 0.0513);
+  EXPECT_EQ(net.delivery_batches(), 0u);  // no buckets in continuous mode
+}
+
+TEST(Network, QuantizedForwardChainsAcrossBuckets) {
+  sim::Simulator sim;
+  Network net(sim, LatencyModel({10.0, 11.0}, 5.0, 5.0));
+  std::vector<double> hops;
+  net.send_sharded(0, 1, MessageType::kPing, 80, [&](DeliveryContext& ctx) {
+    hops.push_back(sim.now());
+    ctx.forward(1, sim.now() + 0.0021, [&](DeliveryContext& inner) {
+      hops.push_back(sim.now());
+      inner.forward(1, sim.now() + 0.0021,
+                    [&](DeliveryContext&) { hops.push_back(sim.now()); });
+    });
+  });
+  sim.run_all();
+  // 5 ms arrival, then each 2.1 ms continuation snaps to the next grid
+  // point: 10 ms, 15 ms.
+  ASSERT_EQ(hops.size(), 3u);
+  EXPECT_DOUBLE_EQ(hops[0], 0.005);
+  EXPECT_DOUBLE_EQ(hops[1], 0.010);
+  EXPECT_DOUBLE_EQ(hops[2], 0.015);
+  EXPECT_EQ(net.delivery_batches(), 3u);
+}
+
+TEST(Network, QuantizedDeferSettlesAfterWholeBucket) {
+  sim::Simulator sim;
+  Network net(sim, LatencyModel({10.0, 11.0, 12.0}, 5.0, 5.0));
+  std::vector<std::string> log;
+  for (std::uint32_t to = 1; to < 3; ++to) {
+    net.send_sharded(0, to, MessageType::kPing, 80, [&log, to](DeliveryContext& ctx) {
+      log.push_back("handler" + std::to_string(to));
+      ctx.defer([&log, to] { log.push_back("defer" + std::to_string(to)); });
+    });
+  }
+  sim.run_all();
+  // Every handler of the bucket runs before ANY deferred op: the join
+  // replays buffers only after the fork completes.
+  EXPECT_EQ(log, (std::vector<std::string>{"handler1", "handler2", "defer1",
+                                           "defer2"}));
 }
 
 }  // namespace

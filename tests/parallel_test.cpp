@@ -18,6 +18,9 @@
 #include <vector>
 
 #include "core/session.hpp"
+#include "net/latency_model.hpp"
+#include "net/message.hpp"
+#include "net/network.hpp"
 #include "runner/cli.hpp"
 #include "runner/experiment_runner.hpp"
 #include "runner/scenario.hpp"
@@ -333,6 +336,109 @@ TEST(SessionThreads, ResultsBitIdenticalAcrossThreadCounts) {
           << "threads " << threads << " churn " << churn;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Quantized delivery batches (receiver-sharded network mode)
+// ---------------------------------------------------------------------------
+
+TEST(QuantizedDelivery, SessionsBitIdenticalAcrossThreadCounts) {
+  // The delivery-batch twin of the SessionThreads gate: with a latency
+  // grid installed, every segment request / arrival / completion runs
+  // through receiver-sharded bucket dispatches, and the fingerprint
+  // must STILL be a pure function of (seed, config, trace). Covers
+  // static and churn (drops exercise the per-shard drop buffers) at
+  // two grid sizes.
+  trace::GeneratorConfig tc;
+  tc.node_count = 200;
+  tc.seed = 21;
+  const auto snapshot = trace::generate_snapshot(tc);
+
+  const auto fingerprint_at = [&snapshot](unsigned threads, bool churn,
+                                          double grid_ms) {
+    core::SystemConfig config;
+    config.seed = 42;
+    config.expected_nodes = 200;
+    config.threads = threads;
+    config.churn_enabled = churn;
+    config.latency_grid_ms = grid_ms;
+    runner::ReplicationSpec spec;
+    spec.config = config;
+    spec.snapshot = std::make_shared<const trace::TraceSnapshot>(snapshot);
+    spec.duration = 25.0;
+    spec.stable_from = 15.0;
+    return runner::result_fingerprint(runner::ExperimentRunner::run_one(spec));
+  };
+
+  for (const double grid_ms : {1.0, 5.0}) {
+    for (const bool churn : {false, true}) {
+      const std::uint64_t reference = fingerprint_at(1, churn, grid_ms);
+      for (const unsigned threads : {2u, 4u, 8u}) {
+        EXPECT_EQ(fingerprint_at(threads, churn, grid_ms), reference)
+            << "threads " << threads << " churn " << churn << " grid "
+            << grid_ms;
+      }
+    }
+  }
+}
+
+TEST(QuantizedDelivery, ForkedBucketMatchesInlineFallback) {
+  // Network-level equivalence: the same delivery schedule dispatched
+  // with a real worker pool and with NO executor (the inline fallback)
+  // must produce identical per-receiver handler sequences, identical
+  // join-replay order, and identical drop counts — the fallback
+  // replicates the executor's exact shard decomposition.
+  const auto run_with =
+      [](sim::parallel::ParallelExecutor* exec) {
+        sim::Simulator sim;
+        // 40 nodes, all pairwise latencies floored -> one big bucket
+        // of 39 receiver groups across several shards (grain 8).
+        std::vector<double> pings(40);
+        for (std::size_t i = 0; i < pings.size(); ++i) {
+          pings[i] = 10.0 + 0.001 * static_cast<double>(i);
+        }
+        net::Network net(sim, net::LatencyModel(std::move(pings), 5.0, 5.0));
+        if (exec != nullptr) net.set_executor(exec);
+        // Drop every 7th receiver, as churn would.
+        net.set_delivery_filter([](std::size_t to) { return to % 7 != 0; });
+
+        // Handlers write ONLY receiver-own state (their slot) plus what
+        // they defer; the deferred ops replay serially at the join, so
+        // `joined` is the thread-count-invariant sequence to compare.
+        struct Log {
+          std::vector<std::uint32_t> joined;
+        } log;
+        std::vector<std::uint32_t> hits(40, 0);
+        for (std::uint32_t to = 1; to < 40; ++to) {
+          net.send_sharded(0, to, net::MessageType::kPing, 80,
+                           [&hits, &log, to](net::DeliveryContext& ctx) {
+                             ++hits[to];  // receiver-own slot
+                             ctx.defer([&log, to] { log.joined.push_back(to); });
+                           });
+        }
+        sim.run_all();
+        struct Result {
+          std::vector<std::uint32_t> hits;
+          std::vector<std::uint32_t> joined;
+          std::uint64_t dropped;
+          std::uint64_t batches;
+        };
+        return Result{std::move(hits), std::move(log.joined), net.dropped(),
+                      net.delivery_batches()};
+      };
+
+  sim::parallel::ParallelExecutor pool(4);
+  const auto forked = run_with(&pool);
+  const auto inline_run = run_with(nullptr);
+
+  EXPECT_EQ(forked.hits, inline_run.hits);
+  EXPECT_EQ(forked.joined, inline_run.joined);
+  EXPECT_EQ(forked.dropped, inline_run.dropped);
+  EXPECT_EQ(forked.batches, inline_run.batches);
+  EXPECT_EQ(forked.dropped, 5u);  // receivers 7, 14, 21, 28, 35
+  // Join replay is shard-major, schedule-ordered within a shard — and
+  // identical whether or not a pool ran the shards.
+  ASSERT_EQ(forked.joined.size(), 34u);
 }
 
 // ---------------------------------------------------------------------------
