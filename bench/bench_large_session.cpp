@@ -86,7 +86,8 @@ int main(int argc, char** argv) {
       "\"overheard_bytes\": %zu, \"peer_table_bytes\": %zu, "
       "\"backup_bytes\": %zu, \"transfer_map_bytes\": %zu, "
       "\"prefetch_map_bytes\": %zu, \"tag_set_bytes\": %zu, "
-      "\"rate_table_bytes\": %zu}}}\n",
+      "\"rate_table_bytes\": %zu, \"retry_map_bytes\": %zu, "
+      "\"blacklist_bytes\": %zu}}}\n",
       name.c_str(), scenario.node_count, spec.duration, seed, wall, events,
       static_cast<double>(events) / wall, peak,
       std::thread::hardware_concurrency(), memory.nodes,
@@ -95,6 +96,6 @@ int main(int argc, char** argv) {
       memory.neighbor_set_bytes, memory.overheard_bytes,
       memory.peer_table_bytes, memory.backup_bytes, memory.transfer_map_bytes,
       memory.prefetch_map_bytes, memory.tag_set_bytes,
-      memory.rate_table_bytes);
+      memory.rate_table_bytes, memory.retry_map_bytes, memory.blacklist_bytes);
   return 0;
 }

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "fault/fault_plan.hpp"
 #include "overlay/churn.hpp"
 #include "util/types.hpp"
 
@@ -82,6 +83,17 @@ struct SystemConfig {
   /// Enable churn ("dynamic environment").
   bool churn_enabled = false;
   overlay::ChurnConfig churn{};
+
+  // --- faults / hardening --------------------------------------------------
+  /// Deterministic fault schedule (link loss, crash-stop events,
+  /// partitions, latency spikes). The default plan is inert: no
+  /// injector is installed and the simulation is bit-identical to a
+  /// fault-free build.
+  fault::FaultPlan fault{};
+  /// Retry/backoff + supplier-blacklist hardening for the pull and
+  /// prefetch planes. Off by default (zero-fault hot path untouched);
+  /// the f*_ scenario families switch it on.
+  fault::RetryPolicy retry{};
 
   // --- neighbor maintenance ----------------------------------------------
   /// Replace a neighbor whose smoothed supply rate is below this many

@@ -47,6 +47,25 @@ struct PackedTransfer {
   NodeId supplier = kInvalidNode;
   TransferKind kind = TransferKind::kScheduled;
 };
+
+/// Packed retry record (8 bytes): when the segment may be re-requested
+/// and how many consecutive timeouts it has accumulated (capped at
+/// RetryPolicy::max_attempts — the backoff saturates, it never grows
+/// past the cap).
+struct PackedRetry {
+  float eligible_at = 0.0f;
+  std::uint8_t attempts = 0;
+};
+
+/// Packed supplier-strike record (8 bytes). `until` doubles as the
+/// record's freshness stamp: below the strike threshold it marks when
+/// the slate is wiped; at/above it, when the blacklist window ends.
+/// compact_bookkeeping erases any record whose `until` has passed, so
+/// the blacklist decays on quiet as well as on success.
+struct PackedStrike {
+  float until = 0.0f;
+  std::uint8_t strikes = 0;
+};
 }  // namespace detail
 
 class Node {
@@ -121,12 +140,39 @@ class Node {
   /// FlatMap contract: the cutoff predicate is idempotent, and the
   /// side effect rides the erase, so a wrap-displaced revisit (which is
   /// only ever a non-erased entry) can never double-fire it.
+  /// Hardening tallies produced by a policy-carrying sweep, merged into
+  /// the session stats by the caller (per-shard when forked).
+  struct SweepHardening {
+    std::uint64_t backoffs = 0;    ///< retry records created or escalated
+    std::uint64_t blacklists = 0;  ///< blacklist activations
+  };
+
+  /// When `policy` is non-null the same one-pass sweep also records the
+  /// hardening state for each dropped entry: a retry-backoff record for
+  /// the segment (consulted by plan_scheduling / plan_prefetch) and a
+  /// strike against the supplier (blacklist after repeated failures).
+  /// All writes land in this node's own tables, so the fork-safety
+  /// argument is unchanged. The fault-free path (null policy) is
+  /// bit-identical to the pre-hardening sweep.
   template <typename F>
-  std::size_t sweep_timeouts(SimTime cutoff, F&& on_failed) {
+  std::size_t sweep_timeouts(SimTime cutoff, F&& on_failed,
+                             const fault::RetryPolicy* policy = nullptr,
+                             SimTime now = 0.0,
+                             SweepHardening* hardening = nullptr) {
     std::size_t dropped = 0;
     for (auto it = inflight_.begin(); it != inflight_.end();) {
       if (static_cast<SimTime>(it->second.requested_at) < cutoff) {
-        if (it->second.supplier != kInvalidNode) on_failed(it->second.supplier);
+        if (it->second.supplier != kInvalidNode) {
+          on_failed(it->second.supplier);
+          if (policy != nullptr &&
+              note_supplier_failure(it->second.supplier, now, *policy)) {
+            ++hardening->blacklists;
+          }
+        }
+        if (policy != nullptr) {
+          note_retry_failure(it->first, now, *policy);
+          ++hardening->backoffs;
+        }
         it = inflight_.erase(it);
         ++dropped;
       } else {
@@ -135,6 +181,10 @@ class Node {
     }
     for (auto it = prefetch_pending_.begin(); it != prefetch_pending_.end();) {
       if (static_cast<SimTime>(it->second) < cutoff) {
+        if (policy != nullptr) {
+          note_retry_failure(it->first, now, *policy);
+          ++hardening->backoffs;
+        }
         it = prefetch_pending_.erase(it);
         ++dropped;
       } else {
@@ -166,6 +216,29 @@ class Node {
   /// Returns the affected segment ids.
   std::vector<SegmentId> drop_transfers_from(NodeId supplier);
 
+  // --- retry/backoff + supplier blacklist (hardening; fault_plan.hpp) ----
+  /// True while `id` sits inside its retry-backoff window.
+  [[nodiscard]] bool retry_blocked(SegmentId id, SimTime now) const;
+  /// Clears the retry record (the segment arrived after all).
+  void clear_retry(SegmentId id);
+  /// Adds a strike against `supplier`; returns true when this strike
+  /// activated (or re-armed) the blacklist window.
+  bool note_supplier_failure(NodeId supplier, SimTime now,
+                             const fault::RetryPolicy& policy);
+  /// A completed transfer wipes the supplier's strike slate.
+  void note_supplier_success(NodeId supplier);
+  /// True while `supplier`'s offers are ignored by the scheduler (the
+  /// policy carries the strike threshold the packed record is read
+  /// against).
+  [[nodiscard]] bool supplier_blacklisted(NodeId supplier, SimTime now,
+                                          const fault::RetryPolicy& policy) const;
+  [[nodiscard]] std::size_t retry_record_count() const noexcept {
+    return retry_state_.size();
+  }
+  [[nodiscard]] std::size_t strike_record_count() const noexcept {
+    return supplier_strikes_.size();
+  }
+
   // Estimated footprint of the bookkeeping tables — memory sizing.
   // Flat tables charge capacity x (slot + 1 meta byte). Per-table
   // detail for the footprint report / README budget table; the rate
@@ -179,16 +252,21 @@ class Node {
   [[nodiscard]] std::size_t approx_tag_set_bytes() const noexcept {
     return prefetch_tags_.approx_bytes();
   }
-
-  /// Periodic GC hook (called once per round): shrinks bookkeeping
-  /// tables whose burst capacity has drained, so steady-state footprint
-  /// tracks live state instead of the all-time high-water mark. Not
-  /// noexcept — the shrink rehash allocates and may throw bad_alloc.
-  void compact_bookkeeping() {
-    inflight_.maybe_shrink();
-    prefetch_pending_.maybe_shrink();
-    prefetch_tags_.maybe_shrink();
+  [[nodiscard]] std::size_t approx_retry_map_bytes() const noexcept {
+    return retry_state_.approx_bytes();
   }
+  [[nodiscard]] std::size_t approx_blacklist_bytes() const noexcept {
+    return supplier_strikes_.approx_bytes();
+  }
+
+  /// Periodic GC hook (called once per round): sweeps expired hardening
+  /// records (retry entries behind the window head or long past their
+  /// backoff, strike records whose decay window passed) and shrinks
+  /// bookkeeping tables whose burst capacity has drained, so
+  /// steady-state footprint tracks live state instead of the all-time
+  /// high-water mark. Not noexcept — the shrink rehash allocates and
+  /// may throw bad_alloc.
+  void compact_bookkeeping(SimTime now, SegmentId horizon);
 
   // --- playback-round bookkeeping -------------------------------------------
   /// Round statistics updated by the session each period.
@@ -197,6 +275,12 @@ class Node {
     std::uint64_t missed = 0;
   };
   [[nodiscard]] RoundStats& round_stats() noexcept { return round_stats_; }
+
+  /// Stall-episode tracking bit, owned by the metrics sampler: set
+  /// while the node is inside a run of rounds with missed segments, so
+  /// episode starts (ok -> stalled transitions) can be counted.
+  [[nodiscard]] bool in_stall() const noexcept { return in_stall_; }
+  void set_in_stall(bool stalled) noexcept { in_stall_ = stalled; }
 
  private:
   NodeId id_;
@@ -223,12 +307,23 @@ class Node {
   /// 2^32 ids is a 13-year stream. seg_key() asserts the precondition.
   [[nodiscard]] static std::uint32_t seg_key(SegmentId id) noexcept;
 
+  /// Inserts/escalates the retry record for a timed-out segment key.
+  void note_retry_failure(std::uint32_t key, SimTime now,
+                          const fault::RetryPolicy& policy);
+
   util::FlatMap<std::uint32_t, detail::PackedTransfer> inflight_;
   util::FlatMap<std::uint32_t, float> prefetch_pending_;
   /// Pre-fetch delivery tags (paper: "tag"). Membership is the value,
   /// so a flat SET (5 bytes/slot) replaces the old map-to-true.
   util::FlatSet<std::uint32_t> prefetch_tags_;
+  /// Hardening state (empty unless a RetryPolicy is active): per-segment
+  /// backoff records and per-supplier strike/blacklist records. Same
+  /// bounded FlatMap discipline as the in-flight tables — swept by
+  /// compact_bookkeeping, zero heap when empty.
+  util::FlatMap<std::uint32_t, detail::PackedRetry> retry_state_;
+  util::FlatMap<NodeId, detail::PackedStrike> supplier_strikes_;
   RoundStats round_stats_;
+  bool in_stall_ = false;
 };
 
 }  // namespace continu::core

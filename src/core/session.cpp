@@ -35,6 +35,13 @@ SessionStats& operator+=(SessionStats& lhs, const SessionStats& rhs) noexcept {
   lhs.transfer_timeouts += rhs.transfer_timeouts;
   lhs.mixed_batch_fallbacks += rhs.mixed_batch_fallbacks;
   lhs.deliveries_dropped += rhs.deliveries_dropped;
+  lhs.deliveries_lost += rhs.deliveries_lost;
+  lhs.deliveries_partitioned += rhs.deliveries_partitioned;
+  lhs.fault_crashes += rhs.fault_crashes;
+  lhs.retry_backoffs += rhs.retry_backoffs;
+  lhs.suppliers_blacklisted += rhs.suppliers_blacklisted;
+  lhs.stall_episodes += rhs.stall_episodes;
+  lhs.stall_rounds += rhs.stall_rounds;
   return lhs;
 }
 
@@ -147,6 +154,14 @@ Session::Session(const SystemConfig& config, const trace::TraceSnapshot& snapsho
   // urgent line's initial alpha, lower bound and adaptation step.
   config_.t_hop_estimate = network_.latency().average_latency_ms() / 1000.0;
   config_.expected_nodes = static_cast<double>(snapshot.node_count());
+  // Compile the fault plan. An inert plan installs nothing, so the
+  // zero-fault send path never even branches into the injector.
+  hardened_ = config_.retry.enabled;
+  if (config_.fault.active()) {
+    fault_injector_ =
+        std::make_unique<fault::FaultInjector>(config_.fault, config_.seed);
+    network_.set_fault_injector(fault_injector_.get());
+  }
   build_nodes(snapshot);
   assign_initial_neighbors(snapshot);
   populate_initial_dht();
@@ -314,6 +329,15 @@ void Session::start_processes() {
   (void)rounds_.add(tau, kSampleTickUser);
   if (config_.churn_enabled) {
     (void)rounds_.add(kChurnPhase * tau, kChurnTickUser);
+  }
+
+  // Crash-stop events from the fault plan: plain serial simulator
+  // events (victims leave the round scheduler inside kill_node).
+  for (const auto& crash : config_.fault.crashes) {
+    if (crash.time <= 0.0 || crash.fraction <= 0.0) continue;
+    sim_.schedule_at(crash.time, [this, fraction = crash.fraction] {
+      on_fault_crash(fraction);
+    });
   }
 }
 
@@ -512,10 +536,21 @@ void Session::round_prepare_local(std::size_t index, SessionStats& stats,
   // order), independent of the thread count.
   const auto cutoff = now - kTransferTimeoutPeriods * tau;
   const auto index32 = static_cast<std::uint32_t>(index);
-  stats.transfer_timeouts +=
-      node.sweep_timeouts(cutoff, [&shard, index32](NodeId supplier) {
-        shard.rate_decays.emplace_back(index32, supplier);
-      });
+  const auto on_failed = [&shard, index32](NodeId supplier) {
+    shard.rate_decays.emplace_back(index32, supplier);
+  };
+  if (hardened_) {
+    // The same one-pass sweep also records retry-backoff and
+    // supplier-strike state — all own-node writes, so the fork-safety
+    // argument is unchanged; the tallies ride the per-shard stats.
+    Node::SweepHardening hard;
+    stats.transfer_timeouts +=
+        node.sweep_timeouts(cutoff, on_failed, &config_.retry, now, &hard);
+    stats.retry_backoffs += hard.backoffs;
+    stats.suppliers_blacklisted += hard.blacklists;
+  } else {
+    stats.transfer_timeouts += node.sweep_timeouts(cutoff, on_failed);
+  }
 
   if (node.buffer().started()) {
     do_playback(node);
@@ -531,8 +566,9 @@ void Session::round_prepare_local(std::size_t index, SessionStats& stats,
 
   // Compact bookkeeping at the round's in-flight LOW point (after the
   // timeout sweep, before this round books a new burst) so capacity
-  // tracks the standing backlog, not the booking spike.
-  node.compact_bookkeeping();
+  // tracks the standing backlog, not the booking spike. The window head
+  // bounds the hardening tables: retry records behind it are moot.
+  node.compact_bookkeeping(now, node.buffer().window_head());
 
   exchange_buffer_maps(node, tick_rng, shard);
 }
@@ -812,6 +848,10 @@ bool Session::plan_scheduling(const Node& node, double budget_fraction,
   for (const NodeId id : node.neighbors().ids()) {
     const auto idx = alive_node_by_id(id);
     if (!idx.has_value()) continue;
+    // Supplier failover: a blacklisted neighbor's offers are ignored
+    // until its window decays, so demand routes around a peer whose
+    // transfers keep timing out (lossy link or silently dead).
+    if (hardened_ && node.supplier_blacklisted(id, now, config_.retry)) continue;
     const Node& peer = *nodes_[*idx];
     const auto newest = peer.buffer().newest();
     if (!newest.has_value()) continue;
@@ -880,6 +920,9 @@ bool Session::plan_scheduling(const Node& node, double budget_fraction,
 
   for (SegmentId id = lo; id < hi; ++id) {
     if (node.buffer().has(id) || node.transfer_pending(id)) continue;
+    // Bounded retry: a timed-out segment sits out its backoff window
+    // before it may be re-requested.
+    if (hardened_ && node.retry_blocked(id, now)) continue;
     Candidate candidate;
     candidate.id = id;
     for (const auto& view : views) {
@@ -1108,6 +1151,14 @@ void Session::deliver_segment(std::size_t receiver, SegmentId id, TransferKind k
   ++stats.segments_delivered;
   if (!fresh) ++stats.duplicate_deliveries;
 
+  // Hardening: a completed delivery clears the segment's retry streak
+  // and wipes the supplier's strike record. Receiver-own writes only,
+  // so this is safe inside a forked receiver shard.
+  if (hardened_) {
+    node.clear_retry(id);
+    node.note_supplier_success(supplier);
+  }
+
   // The push relay reads OTHER nodes' buffers and draws from the
   // shared session RNG, so it always runs serially: inline in
   // immediate mode, at the join (shard order) when forked. The alive
@@ -1243,6 +1294,9 @@ Session::PrefetchPlan Session::plan_prefetch(const Node& node,
     if (id >= imminent && (node.transfer_pending(id) || booked_in_plan(id))) {
       continue;
     }
+    // Hardening: a segment inside its backoff window is not retried —
+    // neither by gossip (plan_scheduling skips it) nor by pre-fetch.
+    if (hardened_ && node.retry_blocked(id, now)) continue;
     missed.push_back(id);
   }
 
@@ -1419,27 +1473,61 @@ void Session::on_churn_tick() {
     kill_node(index, /*graceful=*/false);
   }
 
-  // Abandon in-flight transfers sourced from the departed. The sweep is
-  // per-receiver-node independent (each node mutates only its own
-  // in-flight table), so it shards across the executor — the serial
-  // mass of a churn tick at 8000 nodes is this O(N) scan.
-  if (!dead_ids.empty()) {
-    exec_.for_shards(nodes_.size(), kSweepGrain,
-                     [this, &dead_ids](std::size_t, std::size_t begin,
-                                       std::size_t end) {
-                       for (std::size_t i = begin; i < end; ++i) {
-                         Node& node = *nodes_[i];
-                         if (!node.alive()) continue;
-                         for (const NodeId dead : dead_ids) {
-                           node.drop_transfers_from(dead);
-                         }
-                       }
-                     });
-  }
+  drop_transfers_from_dead(dead_ids);
 
   for (std::size_t j = 0; j < batch.joins; ++j) {
     do_join();
   }
+}
+
+void Session::drop_transfers_from_dead(const std::vector<NodeId>& dead_ids) {
+  // Abandon in-flight transfers sourced from the departed. The sweep is
+  // per-receiver-node independent (each node mutates only its own
+  // in-flight table), so it shards across the executor — the serial
+  // mass of a churn tick at 8000 nodes is this O(N) scan.
+  if (dead_ids.empty()) return;
+  exec_.for_shards(nodes_.size(), kSweepGrain,
+                   [this, &dead_ids](std::size_t, std::size_t begin,
+                                     std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                       Node& node = *nodes_[i];
+                       if (!node.alive()) continue;
+                       for (const NodeId dead : dead_ids) {
+                         node.drop_transfers_from(dead);
+                       }
+                     }
+                   });
+}
+
+void Session::on_fault_crash(double fraction) {
+  // Crash-stop: victims vanish mid-protocol with no graceful handoff —
+  // the abrupt-leave path of the churn machinery, driven by the fault
+  // plan instead of the churn process. Victim selection draws from a
+  // dedicated per-tick stream so a crash event never perturbs the
+  // churn or scheduling RNG sequences.
+  std::vector<std::size_t> alive;
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {  // source never crashes
+    if (nodes_[i]->alive()) alive.push_back(i);
+  }
+  if (alive.empty()) return;
+  std::size_t count = static_cast<std::size_t>(
+      std::floor(fraction * static_cast<double>(alive.size())));
+  if (count == 0) count = 1;  // a scheduled crash always claims someone
+  count = std::min(count, alive.size());
+
+  constexpr std::uint64_t kCrashStream = 0x4352415348ull;  // "CRASH"
+  util::Rng rng = util::Rng::for_tick(config_.seed ^ kCrashStream, sim_.now(),
+                                      alive.size());
+  rng.shuffle(alive);
+
+  std::vector<NodeId> dead_ids;
+  dead_ids.reserve(count);
+  for (std::size_t v = 0; v < count; ++v) {
+    dead_ids.push_back(nodes_[alive[v]]->id());
+    kill_node(alive[v], /*graceful=*/false);
+    ++stats_.fault_crashes;
+  }
+  drop_transfers_from_dead(dead_ids);
 }
 
 void Session::kill_node(std::size_t index, bool graceful) {
@@ -1575,6 +1663,8 @@ void Session::on_sample_tick() {
     std::uint64_t due = 0;
     std::uint64_t alpha_count = 0;
     std::uint64_t alive = 0;
+    std::uint64_t stall_rounds = 0;
+    std::uint64_t stall_episodes = 0;
     double alpha_sum = 0.0;
     SampleAccum& operator+=(const SampleAccum& rhs) noexcept {
       continuous += rhs.continuous;
@@ -1583,6 +1673,8 @@ void Session::on_sample_tick() {
       due += rhs.due;
       alpha_count += rhs.alpha_count;
       alive += rhs.alive;
+      stall_rounds += rhs.stall_rounds;
+      stall_episodes += rhs.stall_episodes;
       alpha_sum += rhs.alpha_sum;
       return *this;
     }
@@ -1604,6 +1696,21 @@ void Session::on_sample_tick() {
                        if (node.buffer().started() && rs.missed == 0 &&
                            rs.played > 0) {
                          ++acc.continuous;
+                       }
+                       // Stall-episode tracking: a round with a missed
+                       // due segment is a stall round; entering one from
+                       // a clean round opens an episode. Own-node writes
+                       // only (the in_stall bit), so it shards safely.
+                       if (node.buffer().started()) {
+                         if (rs.missed > 0) {
+                           ++acc.stall_rounds;
+                           if (!node.in_stall()) {
+                             ++acc.stall_episodes;
+                             node.set_in_stall(true);
+                           }
+                         } else if (rs.played > 0) {
+                           node.set_in_stall(false);
+                         }
                        }
                        acc.played += rs.played;
                        acc.due += rs.played + rs.missed;
@@ -1643,6 +1750,15 @@ void Session::on_sample_tick() {
   collector_.record("control_overhead_cumulative", now, traffic.control_overhead());
   collector_.record("prefetch_overhead_cumulative", now, traffic.prefetch_overhead());
   collector_.record("alive_nodes", now, static_cast<double>(total.alive));
+  stats_.stall_rounds += total.stall_rounds;
+  stats_.stall_episodes += total.stall_episodes;
+  // Stalled-node series: only recorded when faults or hardening are in
+  // play, so the zero-fault collector output (and its fingerprint fold)
+  // is unchanged.
+  if (fault_injector_ != nullptr || hardened_) {
+    collector_.record("stalled_nodes", now,
+                      static_cast<double>(total.stall_rounds));
+  }
   last_traffic_snapshot_ = traffic;
 }
 
@@ -1672,11 +1788,14 @@ MemoryFootprint Session::memory_footprint() const {
     fp.prefetch_map_bytes += node->approx_prefetch_map_bytes();
     fp.tag_set_bytes += node->approx_tag_set_bytes();
     fp.rate_table_bytes += node->rates().approx_bytes();
+    fp.retry_map_bytes += node->approx_retry_map_bytes();
+    fp.blacklist_bytes += node->approx_blacklist_bytes();
   }
   fp.neighbor_bytes = fp.neighbor_set_bytes + fp.overheard_bytes;
   fp.dht_bytes = fp.peer_table_bytes + fp.backup_bytes;
   fp.inflight_bytes = fp.transfer_map_bytes + fp.prefetch_map_bytes +
-                      fp.tag_set_bytes + fp.rate_table_bytes;
+                      fp.tag_set_bytes + fp.rate_table_bytes +
+                      fp.retry_map_bytes + fp.blacklist_bytes;
   return fp;
 }
 

@@ -20,6 +20,7 @@
 #include "core/config.hpp"
 #include "core/node.hpp"
 #include "core/scheduler.hpp"
+#include "fault/fault_injector.hpp"
 #include "dht/id_space.hpp"
 #include "dht/ring_directory.hpp"
 #include "metrics/collector.hpp"
@@ -73,6 +74,30 @@ struct SessionStats {
   /// a filter regression can't pass CI as "fewer deliveries, still
   /// deterministic".
   std::uint64_t deliveries_dropped = 0;
+  /// Wire messages eaten by injected link loss (FaultPlan iid/burst
+  /// loss). Cause-tagged separately from the liveness drops above so
+  /// fault runs stay auditable by the determinism oracle; mirrored
+  /// from Network::fault_lost().
+  std::uint64_t deliveries_lost = 0;
+  /// Wire messages dropped for crossing an active partition's region
+  /// boundary; mirrored from Network::fault_partitioned().
+  std::uint64_t deliveries_partitioned = 0;
+  /// Crash-stop victims executed from the FaultPlan (each is also an
+  /// abrupt_leave — this counts how many came from the fault schedule).
+  std::uint64_t fault_crashes = 0;
+  /// Timed-out transfers/prefetches that entered or escalated a
+  /// retry-backoff window (hardening active only).
+  std::uint64_t retry_backoffs = 0;
+  /// Supplier blacklist activations after repeated failures
+  /// (hardening active only).
+  std::uint64_t suppliers_blacklisted = 0;
+  /// Stall episodes: a started node transitioning from clean playback
+  /// into a run of rounds with missed segments.
+  std::uint64_t stall_episodes = 0;
+  /// Node-rounds spent inside stall episodes (episode length mass —
+  /// stall_rounds / stall_episodes is the mean recovery time in
+  /// periods).
+  std::uint64_t stall_rounds = 0;
 };
 
 /// Element-wise sum — merging counters across experiment replications
@@ -100,6 +125,8 @@ struct MemoryFootprint {
   std::size_t prefetch_map_bytes = 0;  ///< of inflight_bytes
   std::size_t tag_set_bytes = 0;       ///< of inflight_bytes
   std::size_t rate_table_bytes = 0;    ///< of inflight_bytes
+  std::size_t retry_map_bytes = 0;     ///< of inflight_bytes (hardening)
+  std::size_t blacklist_bytes = 0;     ///< of inflight_bytes (hardening)
   [[nodiscard]] std::size_t total_bytes() const noexcept {
     return buffer_bytes + neighbor_bytes + dht_bytes + inflight_bytes;
   }
@@ -130,12 +157,15 @@ class Session {
   [[nodiscard]] const net::TrafficAccount& traffic() const noexcept {
     return network_.traffic();
   }
-  /// Aggregate counters. The drop counter's source of truth is the
+  /// Aggregate counters. The drop counters' source of truth is the
   /// Network (filters run inside delivery dispatch, including worker
-  /// shards); it is mirrored here lazily so the delivery hot path
-  /// carries no extra write.
+  /// shards; the fault injector sits on the send path); they are
+  /// mirrored here lazily so the delivery hot path carries no extra
+  /// write.
   [[nodiscard]] const SessionStats& stats() const noexcept {
     stats_.deliveries_dropped = network_.dropped();
+    stats_.deliveries_lost = network_.fault_lost();
+    stats_.deliveries_partitioned = network_.fault_partitioned();
     return stats_;
   }
   /// Current per-node state footprint (see MemoryFootprint). For static
@@ -338,10 +368,18 @@ class Session {
                          bool has_segment, double rate);
   void handle_prefetch_request(std::size_t owner, std::size_t origin, SegmentId segment);
 
-  // --- churn ------------------------------------------------------------
+  // --- churn / faults -----------------------------------------------------
   void on_churn_tick();
   void kill_node(std::size_t index, bool graceful);
   void do_join();
+  /// Crash-stop event from the FaultPlan: `fraction` of the alive
+  /// non-source population fails abruptly (no DHT handover — the
+  /// ChurnPlan::abrupt_leavers path), victims drawn from a for_tick
+  /// stream keyed on the event instant.
+  void on_fault_crash(double fraction);
+  /// Sharded in-flight abandon sweep after a batch of deaths (shared
+  /// between churn ticks and crash-stop events).
+  void drop_transfers_from_dead(const std::vector<NodeId>& dead_ids);
 
   // --- metrics -----------------------------------------------------------
   void on_sample_tick();
@@ -356,6 +394,13 @@ class Session {
   dht::IdSpace space_;
   sim::Simulator sim_;
   net::Network network_;
+  /// Compiled FaultPlan (null when the plan is inert — the network
+  /// then never consults it and the send path is bit-identical to a
+  /// fault-free build).
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
+  /// Cached config_.retry.enabled: hardening consults ride hot
+  /// scheduling loops, and the zero-fault path must stay branch-cheap.
+  bool hardened_ = false;
   dht::RingDirectory directory_;
   overlay::RendezvousServer rp_;
   overlay::ChurnPlanner churn_;

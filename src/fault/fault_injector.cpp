@@ -1,0 +1,66 @@
+#include "fault/fault_injector.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace continu::fault {
+
+namespace {
+/// Stream label separating loss draws from every other for_tick
+/// consumer (node rounds, request shuffles, churn) at the same instant.
+constexpr std::uint64_t kLossStream = 0x464C4F5353ull;  // "FLOSS"
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), seed_(seed) {}
+
+double FaultInjector::loss_rate_at(SimTime now) const {
+  double rate = plan_.loss_rate;
+  if (plan_.burst_period > 0.0 && plan_.burst_rate > rate) {
+    const double phase =
+        now - std::floor(now / plan_.burst_period) * plan_.burst_period;
+    if (phase < plan_.burst_duration) rate = plan_.burst_rate;
+  }
+  return rate;
+}
+
+bool FaultInjector::partitioned(std::size_t from, std::size_t to,
+                                SimTime now) const {
+  for (const auto& p : plan_.partitions) {
+    if (p.regions < 2) continue;
+    if (now >= p.start && now < p.heal && from % p.regions != to % p.regions) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SimTime FaultInjector::extra_latency_s(SimTime now) const {
+  double extra_ms = 0.0;
+  for (const auto& s : plan_.spikes) {
+    if (now >= s.start && now < s.start + s.duration) extra_ms += s.extra_ms;
+  }
+  return extra_ms / 1000.0;
+}
+
+FaultInjector::Fate FaultInjector::classify(std::size_t from, std::size_t to,
+                                            SimTime now) {
+  if (partitioned(from, to, now)) return Fate::kPartition;
+  const double rate = loss_rate_at(now);
+  if (rate > 0.0) {
+    // One fresh stream per decision, keyed on the link plus the send
+    // nonce: two sends on one link at one instant draw independently,
+    // and the draw sequence is a pure function of the serial send
+    // order, so it cannot vary with the thread count.
+    const std::uint64_t link = (static_cast<std::uint64_t>(from) << 32) ^
+                               static_cast<std::uint64_t>(to);
+    auto rng = util::Rng::for_tick(seed_ ^ kLossStream, now,
+                                   link + 0x9E3779B97F4A7C15ull * ++nonce_);
+    if (rng.next_bool(rate)) return Fate::kLoss;
+  }
+  return Fate::kDeliver;
+}
+
+}  // namespace continu::fault

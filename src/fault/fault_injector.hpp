@@ -1,0 +1,53 @@
+#pragma once
+// Compiles a FaultPlan into per-send decisions at the Network boundary.
+//
+// The injector sits on the serial send path (Network::send /
+// send_sharded are only ever called from serial phases: the commit
+// phase, serial delivery events, and the join-time replay of deferred
+// work — the same contract that protects the traffic account). That
+// makes a mutable draw nonce safe, and because the serial send order
+// is itself a deterministic function of the simulation, every injected
+// decision is thread-count invariant: fingerprints stay byte-identical
+// at threads 1/2/4/8 in both network modes.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fault/fault_plan.hpp"
+#include "util/types.hpp"
+
+namespace continu::fault {
+
+class FaultInjector {
+ public:
+  enum class Fate : std::uint8_t { kDeliver, kLoss, kPartition };
+
+  FaultInjector(FaultPlan plan, std::uint64_t seed);
+
+  /// Classifies one wire send at `now`. Partition checks are pure
+  /// window tests (no draw); a loss draw is made only when the
+  /// effective loss rate is positive, so partition-only plans consume
+  /// no RNG stream.
+  [[nodiscard]] Fate classify(std::size_t from, std::size_t to, SimTime now);
+
+  /// Extra one-way latency from active spike episodes, in seconds.
+  [[nodiscard]] SimTime extra_latency_s(SimTime now) const;
+
+  /// Effective iid loss probability at `now` (burst windows raise it
+  /// to max(loss_rate, burst_rate)).
+  [[nodiscard]] double loss_rate_at(SimTime now) const;
+
+  /// True when (from, to) straddle a region boundary of a partition
+  /// whose [start, heal) window covers `now`.
+  [[nodiscard]] bool partitioned(std::size_t from, std::size_t to,
+                                 SimTime now) const;
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  std::uint64_t seed_;
+  std::uint64_t nonce_ = 0;  ///< serial send counter (see header comment)
+};
+
+}  // namespace continu::fault

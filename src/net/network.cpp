@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "fault/fault_injector.hpp"
+
 namespace continu::net {
 
 Network::Network(sim::Simulator& sim, LatencyModel latency)
@@ -25,6 +27,21 @@ void Network::set_delivery_filter(std::function<bool(std::size_t)> filter) {
 }
 
 void Network::set_shard_hooks(ShardHooks hooks) { hooks_ = std::move(hooks); }
+
+bool Network::apply_faults(std::size_t from, std::size_t to, SimTime& delay) {
+  switch (fault_->classify(from, to, sim_.now())) {
+    case fault::FaultInjector::Fate::kLoss:
+      ++fault_lost_;
+      return false;
+    case fault::FaultInjector::Fate::kPartition:
+      ++fault_partitioned_;
+      return false;
+    case fault::FaultInjector::Fate::kDeliver:
+      break;
+  }
+  delay += fault_->extra_latency_s(sim_.now());
+  return true;
+}
 
 void Network::enqueue_sharded(std::uint32_t to, SimTime when,
                               DeliveryAction action, bool filtered) {

@@ -41,6 +41,10 @@
 #include "sim/simulator.hpp"
 #include "util/types.hpp"
 
+namespace continu::fault {
+class FaultInjector;
+}
+
 namespace continu::net {
 
 class Network {
@@ -83,9 +87,11 @@ class Network {
                   "delivery capture exceeds the inline event-action buffer; "
                   "shrink the capture (pack indices) or bump kInlineCapacity");
     // Traffic is charged at send time: the bits hit the wire whether or
-    // not the destination is still alive.
+    // not the destination is still alive (and whether or not the fault
+    // injector eats it — a lost message still cost its sender).
     traffic_.charge(traffic_class_of(type), bits);
-    const SimTime delay = latency_.latency_s(from, to) + extra_delay;
+    SimTime delay = latency_.latency_s(from, to) + extra_delay;
+    if (fault_ != nullptr && !apply_faults(from, to, delay)) return;
     if (grid_s_ > 0.0) {
       sim_.schedule_at(
           quantize_up_s(sim_.now() + delay),
@@ -105,7 +111,8 @@ class Network {
   void send_sharded(std::size_t from, std::size_t to, MessageType type, Bits bits,
                     F&& on_delivery, SimTime extra_delay = 0.0) {
     traffic_.charge(traffic_class_of(type), bits);
-    const SimTime delay = latency_.latency_s(from, to) + extra_delay;
+    SimTime delay = latency_.latency_s(from, to) + extra_delay;
+    if (fault_ != nullptr && !apply_faults(from, to, delay)) return;
     if (grid_s_ > 0.0) {
       enqueue_sharded(static_cast<std::uint32_t>(to),
                       quantize_up_s(sim_.now() + delay),
@@ -169,6 +176,16 @@ class Network {
   /// Installs the session's fork/join scratch hooks (see ShardHooks).
   void set_shard_hooks(ShardHooks hooks);
 
+  /// Installs the fault injector (nullptr = fault-free). Every wire
+  /// send — both network modes, sharded or not — consults it after the
+  /// traffic charge and before scheduling: injected loss and partition
+  /// drops never reach the event queue, and active latency-spike
+  /// episodes stretch the delay before any grid snap. With no injector
+  /// installed the send path is bit-identical to a fault-free build.
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
+
   [[nodiscard]] const TrafficAccount& traffic() const noexcept { return traffic_; }
   [[nodiscard]] TrafficAccount& traffic() noexcept { return traffic_; }
   [[nodiscard]] const LatencyModel& latency() const noexcept { return latency_; }
@@ -184,6 +201,13 @@ class Network {
   /// SessionStats::deliveries_dropped — a filter regression is visible
   /// to the fingerprint oracle, not silently swallowed).
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Messages eaten by injected iid/burst link loss.
+  [[nodiscard]] std::uint64_t fault_lost() const noexcept { return fault_lost_; }
+  /// Messages eaten because sender and receiver sat in different
+  /// regions of an active partition.
+  [[nodiscard]] std::uint64_t fault_partitioned() const noexcept {
+    return fault_partitioned_;
+  }
   /// Buckets fired in quantized mode (0 in continuous mode).
   [[nodiscard]] std::uint64_t delivery_batches() const noexcept {
     return delivery_batches_;
@@ -259,6 +283,13 @@ class Network {
     return std::ceil(t / grid_s_) * grid_s_;
   }
 
+  /// Consults the installed fault injector for one wire send. Returns
+  /// false when the message is eaten (loss or partition — counted by
+  /// cause); otherwise adds any active spike latency to `delay`.
+  /// Out-of-line so the templated send paths need only the injector's
+  /// forward declaration.
+  bool apply_faults(std::size_t from, std::size_t to, SimTime& delay);
+
   /// Appends a delivery to its grid bucket, creating the bucket (and
   /// its proxy event) on first use.
   void enqueue_sharded(std::uint32_t to, SimTime when, DeliveryAction action,
@@ -273,6 +304,11 @@ class Network {
   TrafficAccount traffic_;
   std::function<bool(std::size_t)> filter_;
   std::uint64_t dropped_ = 0;
+
+  // --- fault injection ---------------------------------------------------
+  fault::FaultInjector* fault_ = nullptr;
+  std::uint64_t fault_lost_ = 0;
+  std::uint64_t fault_partitioned_ = 0;
 
   // --- quantized mode ----------------------------------------------------
   /// Receivers per shard of a bucket dispatch. Small on purpose: a

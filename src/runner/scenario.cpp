@@ -15,6 +15,8 @@ core::SystemConfig Scenario::make_config(std::uint64_t seed) const {
   config.heterogeneous_bandwidth = heterogeneous_bandwidth;
   config.playback_rate = playback_rate;
   config.latency_grid_ms = latency_grid_ms;
+  config.fault = fault;
+  config.retry.enabled = harden;
   if (churn) {
     config.churn_enabled = true;
     config.churn.leave_fraction = churn_fraction;
@@ -40,6 +42,8 @@ Scenario Scenario::with(const ScenarioOverrides& o, std::string derived_name) co
   if (o.prefetch_limit) s.prefetch_limit = *o.prefetch_limit;
   if (o.scheduler) s.scheduler = *o.scheduler;
   if (o.latency_grid_ms) s.latency_grid_ms = *o.latency_grid_ms;
+  if (o.fault) s.fault = *o.fault;
+  if (o.harden) s.harden = *o.harden;
   if (o.trace_seed) s.trace_seed = *o.trace_seed;
   if (o.duration) s.duration = *o.duration;
   if (o.stable_from) s.stable_from = *o.stable_from;
@@ -264,9 +268,100 @@ namespace {
         families.push_back(std::move(s));
       }
     }
+
+    // --- fault families -----------------------------------------------------
+    // Matrix bases re-run under deterministic fault plans with the
+    // retry/backoff + blacklist hardening switched on. Same trace, same
+    // seeds as the base; the only delta is the injected fault schedule.
+    // f1_: light iid link loss. f5_: a hostile mix — heavy loss with
+    // burst episodes, a 10% crash-stop event and a latency spike. fp_: a
+    // two-region partition that heals. f5_q1_*: the f5_ plan over the
+    // quantized network mode, proving injection covers both modes.
+    const auto faulted = [&families, &matrix_base](
+                             const char* base_name, const std::string& prefix,
+                             const fault::FaultPlan& plan, const char* what,
+                             double grid_ms = 0.0) {
+      Scenario b = matrix_base(base_name);
+      ScenarioOverrides o;
+      o.fault = plan;
+      o.harden = true;
+      if (grid_ms > 0.0) o.latency_grid_ms = grid_ms;
+      Scenario s = b.with(o, prefix + b.name);
+      s.description = b.description + " [" + what + "]";
+      families.push_back(std::move(s));
+    };
+
+    fault::FaultPlan light;
+    light.loss_rate = 0.01;
+    for (const char* name : {"static_small", "static_1k", "dynamic_1k"}) {
+      faulted(name, "f1_", light, "1% iid link loss, hardened");
+    }
+
+    fault::FaultPlan hostile;
+    hostile.loss_rate = 0.05;
+    hostile.burst_rate = 0.25;
+    hostile.burst_period = 10.0;
+    hostile.burst_duration = 2.0;
+    hostile.crashes.push_back({/*time=*/25.0, /*fraction=*/0.10});
+    hostile.spikes.push_back({/*start=*/15.0, /*duration=*/5.0, /*extra_ms=*/100.0});
+    for (const char* name : {"static_small", "static_1k", "dynamic_1k"}) {
+      faulted(name, "f5_",  hostile,
+              "5% loss + bursts + 10% crash @25s + 100ms spike, hardened");
+    }
+    faulted("static_small", "f5_q1_", hostile,
+            "f5 fault mix over the 1 ms quantized grid, hardened",
+            /*grid_ms=*/1.0);
+    faulted("static_1k", "f5_q1_", hostile,
+            "f5 fault mix over the 1 ms quantized grid, hardened",
+            /*grid_ms=*/1.0);
+
+    fault::FaultPlan split;
+    split.partitions.push_back({/*start=*/20.0, /*heal=*/30.0, /*regions=*/2});
+    for (const char* name : {"static_small", "static_1k"}) {
+      faulted(name, "fp_", split, "2-region partition [20s,30s), hardened");
+    }
   }
 
   return families;
+}
+
+/// One-line description per family prefix for --list-scenarios.
+[[nodiscard]] std::string family_description(const std::string& prefix) {
+  if (prefix == "fig7") return "static continuity vs overlay size";
+  if (prefix == "fig8") return "dynamic continuity vs overlay size (5% churn)";
+  if (prefix == "fig9") return "control overhead vs overlay size, M in {4,5,6}";
+  if (prefix == "fig11") return "pre-fetch overhead vs overlay size";
+  if (prefix == "q1" || prefix == "q2" || prefix == "q5") {
+    return "matrix bases under the quantized latency grid (" +
+           prefix.substr(1) + " ms)";
+  }
+  if (prefix == "f1") return "fault family: 1% iid link loss, hardening on";
+  if (prefix == "f5") {
+    return "fault family: 5% loss + burst episodes + crash + latency "
+           "spike, hardening on (f5_q1_* = same plan, quantized grid)";
+  }
+  if (prefix == "fp") {
+    return "fault family: 2-region partition with scheduled heal, "
+           "hardening on";
+  }
+  return "parameterized scenario family";
+}
+
+[[nodiscard]] std::vector<ScenarioFamilyGroup> build_family_groups() {
+  std::vector<ScenarioFamilyGroup> groups;
+  for (const Scenario& s : scenario_families()) {
+    const std::string prefix = s.name.substr(0, s.name.find('_'));
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&prefix](const ScenarioFamilyGroup& g) {
+                             return g.prefix == prefix;
+                           });
+    if (it == groups.end()) {
+      groups.push_back({prefix, family_description(prefix), {}});
+      it = groups.end() - 1;
+    }
+    it->members.push_back(s.name);
+  }
+  return groups;
 }
 
 }  // namespace
@@ -304,6 +399,11 @@ std::vector<std::string> all_scenario_names() {
   names.reserve(names.size() + scenario_families().size());
   for (const auto& s : scenario_families()) names.push_back(s.name);
   return names;
+}
+
+const std::vector<ScenarioFamilyGroup>& scenario_family_groups() {
+  static const std::vector<ScenarioFamilyGroup> groups = build_family_groups();
+  return groups;
 }
 
 }  // namespace continu::runner

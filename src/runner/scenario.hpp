@@ -46,6 +46,15 @@ struct Scenario {
   /// receiver-sharded batches.
   double latency_grid_ms = 0.0;
 
+  // --- faults / hardening --------------------------------------------------
+  /// Deterministic fault schedule (link loss, crash events, partitions,
+  /// latency spikes). Inert by default: no injector is installed and
+  /// the run is bit-identical to a fault-free build.
+  fault::FaultPlan fault{};
+  /// Retry/backoff + supplier-blacklist hardening. The f*_ families
+  /// switch it on; everything else runs the untouched hot path.
+  bool harden = false;
+
   // --- trace --------------------------------------------------------------
   std::uint64_t trace_seed = 1;
   double average_degree = 2.5;
@@ -81,6 +90,8 @@ struct ScenarioOverrides {
   std::optional<unsigned> prefetch_limit;
   std::optional<core::SchedulerKind> scheduler;
   std::optional<double> latency_grid_ms;  ///< network quantization grid
+  std::optional<fault::FaultPlan> fault;  ///< deterministic fault schedule
+  std::optional<bool> harden;             ///< retry/backoff + blacklist
   std::optional<std::uint64_t> trace_seed;
   std::optional<double> duration;
   std::optional<double> stable_from;
@@ -106,5 +117,17 @@ struct ScenarioOverrides {
 /// Every resolvable name: matrix order, then family order (for
 /// diagnostics and exhaustive sweeps).
 [[nodiscard]] std::vector<std::string> all_scenario_names();
+
+/// One family of parameterized scenarios, keyed by the shared name
+/// prefix up to the first underscore ("fig7", "q1", "f5", ...).
+struct ScenarioFamilyGroup {
+  std::string prefix;
+  std::string description;  ///< one line, for --list-scenarios
+  std::vector<std::string> members;
+};
+
+/// The families grouped by name prefix, first-appearance order — the
+/// structure `continu_sim --list-scenarios` renders.
+[[nodiscard]] const std::vector<ScenarioFamilyGroup>& scenario_family_groups();
 
 }  // namespace continu::runner

@@ -697,6 +697,10 @@ TEST(CliValidation, UnknownScenarioMessageListsValidNames) {
     EXPECT_NE(message.find(name), std::string::npos) << name;
   }
   EXPECT_NE(message.find("fig7_static_1000"), std::string::npos);
+  // Fault-family members are listed too — an f*_ typo must still show
+  // the full catalogue.
+  EXPECT_NE(message.find("f5_static_1k"), std::string::npos);
+  EXPECT_NE(message.find("fp_static_small"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -759,6 +763,65 @@ TEST(ScenarioFamilies, FigGridsAreNamedScenarios) {
   EXPECT_EQ(runner::scenario_names().size(), 13u);
   EXPECT_EQ(runner::all_scenario_names().size(),
             13u + runner::scenario_families().size());
+}
+
+TEST(ScenarioFamilies, FaultFamiliesAndGroupsResolve) {
+  // The f*_ families run the same trace/seeds as their matrix base,
+  // plus a fault plan and the hardening toggle.
+  const auto base = runner::find_scenario("static_1k");
+  const auto f5 = runner::find_scenario("f5_static_1k");
+  ASSERT_TRUE(base.has_value());
+  ASSERT_TRUE(f5.has_value());
+  EXPECT_EQ(f5->node_count, base->node_count);
+  EXPECT_EQ(f5->trace_seed, base->trace_seed);
+  EXPECT_TRUE(f5->harden);
+  EXPECT_TRUE(f5->fault.active());
+  EXPECT_DOUBLE_EQ(f5->fault.loss_rate, 0.05);
+  ASSERT_EQ(f5->fault.crashes.size(), 1u);
+  EXPECT_DOUBLE_EQ(f5->fault.crashes[0].fraction, 0.10);
+
+  const auto config = f5->make_config(7);
+  EXPECT_TRUE(config.retry.enabled);
+  EXPECT_TRUE(config.fault.active());
+
+  // The quantized variant carries the same plan over the grid mode.
+  const auto f5q = runner::find_scenario("f5_q1_static_1k");
+  ASSERT_TRUE(f5q.has_value());
+  EXPECT_DOUBLE_EQ(f5q->latency_grid_ms, 1.0);
+  EXPECT_TRUE(f5q->fault.active());
+
+  const auto fp = runner::find_scenario("fp_static_small");
+  ASSERT_TRUE(fp.has_value());
+  ASSERT_EQ(fp->fault.partitions.size(), 1u);
+  EXPECT_DOUBLE_EQ(fp->fault.partitions[0].heal, 30.0);
+  EXPECT_DOUBLE_EQ(fp->fault.loss_rate, 0.0);
+
+  // Matrix scenarios stay fault-free: the zero-fault hot path is the
+  // default everywhere outside the f*_ families.
+  for (const auto& s : runner::scenario_matrix()) {
+    EXPECT_FALSE(s.fault.active()) << s.name;
+    EXPECT_FALSE(s.harden) << s.name;
+  }
+
+  // Prefix groups cover every family member exactly once, first
+  // appearance order, and the fault groups are present.
+  const auto& groups = runner::scenario_family_groups();
+  std::size_t grouped = 0;
+  bool saw_f1 = false, saw_f5 = false, saw_fp = false;
+  for (const auto& g : groups) {
+    EXPECT_FALSE(g.description.empty()) << g.prefix;
+    grouped += g.members.size();
+    if (g.prefix == "f1") saw_f1 = true;
+    if (g.prefix == "f5") saw_f5 = true;
+    if (g.prefix == "fp") saw_fp = true;
+    for (const auto& name : g.members) {
+      EXPECT_TRUE(runner::find_scenario(name).has_value()) << name;
+    }
+  }
+  EXPECT_EQ(grouped, runner::scenario_families().size());
+  EXPECT_TRUE(saw_f1);
+  EXPECT_TRUE(saw_f5);
+  EXPECT_TRUE(saw_fp);
 }
 
 }  // namespace

@@ -370,7 +370,8 @@ TEST(Session, MemoryFootprintSectionsAreConsistent) {
   EXPECT_EQ(fp.neighbor_bytes, fp.neighbor_set_bytes + fp.overheard_bytes);
   EXPECT_EQ(fp.dht_bytes, fp.peer_table_bytes + fp.backup_bytes);
   EXPECT_EQ(fp.inflight_bytes, fp.transfer_map_bytes + fp.prefetch_map_bytes +
-                                   fp.tag_set_bytes + fp.rate_table_bytes);
+                                   fp.tag_set_bytes + fp.rate_table_bytes +
+                                   fp.retry_map_bytes + fp.blacklist_bytes);
   EXPECT_EQ(fp.total_bytes(), fp.buffer_bytes + fp.neighbor_bytes +
                                   fp.dht_bytes + fp.inflight_bytes);
   EXPECT_GT(fp.per_node_bytes(), 0.0);

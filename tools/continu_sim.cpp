@@ -305,10 +305,16 @@ int main(int argc, char** argv) {
       std::printf("%-20s %-6zu %-6s %s\n", s.name.c_str(), s.node_count,
                   s.churn ? "yes" : "no", s.description.c_str());
     }
-    std::printf("\nparameterized families (fig sweep grids):\n");
-    for (const auto& s : runner::scenario_families()) {
-      std::printf("%-20s %-6zu %-6s %s\n", s.name.c_str(), s.node_count,
-                  s.churn ? "yes" : "no", s.description.c_str());
+    std::printf("\nparameterized families (grouped by name prefix):\n");
+    for (const auto& group : runner::scenario_family_groups()) {
+      std::printf("\n  %s_*: %s\n", group.prefix.c_str(),
+                  group.description.c_str());
+      for (const auto& name : group.members) {
+        const auto s = runner::find_scenario(name);
+        std::printf("    %-22s %-6zu %-6s %s\n", name.c_str(),
+                    s ? s->node_count : 0, (s && s->churn) ? "yes" : "no",
+                    s ? s->description.c_str() : "");
+      }
     }
     return 0;
   }

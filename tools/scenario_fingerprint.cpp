@@ -127,6 +127,8 @@ int main(int argc, char** argv) {
         " pushed=%" PRIu64 " dht_msg=%" PRIu64 " dht_fail=%" PRIu64
         " joins=%" PRIu64 " leave_g=%" PRIu64 " leave_a=%" PRIu64
         " repl=%" PRIu64 " timeouts=%" PRIu64 " mixedfb=%" PRIu64 " dropped=%" PRIu64
+        " lost=%" PRIu64 " part=%" PRIu64 " crash=%" PRIu64
+        " retrybo=%" PRIu64 " blkl=%" PRIu64 " stallep=%" PRIu64 " stallrd=%" PRIu64
         " continuity=%.17g index=%.17g ctrl=%.17g pf_oh=%.17g alive=%zu hash=%016" PRIx64
         "\n",
         scenario.name.c_str(), seed, s.segments_emitted, s.segments_delivered,
@@ -136,6 +138,8 @@ int main(int argc, char** argv) {
         s.segments_pushed, s.dht_route_messages, s.dht_route_failures, s.joins,
         s.graceful_leaves, s.abrupt_leaves, s.neighbor_replacements, s.transfer_timeouts,
         s.mixed_batch_fallbacks, s.deliveries_dropped,
+        s.deliveries_lost, s.deliveries_partitioned, s.fault_crashes,
+        s.retry_backoffs, s.suppliers_blacklisted, s.stall_episodes, s.stall_rounds,
         run.stable_continuity, run.continuity_index, run.control_overhead,
         run.prefetch_overhead, run.alive_at_end, runner::result_fingerprint(run));
     std::fflush(stdout);
