@@ -24,6 +24,7 @@
 #include "runner/experiment_runner.hpp"
 #include "runner/scenario.hpp"
 #include "trace/generator.hpp"
+#include "util/logging.hpp"
 #include "util/table.hpp"
 
 namespace continu::bench {
@@ -109,7 +110,7 @@ struct Horizon {
 [[nodiscard]] inline runner::Scenario require_scenario(const std::string& name) {
   auto scenario = runner::find_scenario(name);
   if (!scenario.has_value()) {
-    std::fprintf(stderr, "scenario matrix is missing '%s'\n", name.c_str());
+    util::Log(util::LogLevel::kError) << "scenario matrix is missing '" << name << "'";
     std::exit(1);
   }
   return *std::move(scenario);

@@ -12,6 +12,11 @@
 // push/pop, action dispatch and round batching.
 //
 //   bench_large_session [--scenario NAME] [--duration SEC] [--seed S]
+//                       [--obs] [--quiet]
+//
+// --obs compiles nothing extra — it flips the runtime observability
+// config on (profiler + trace + counters) so check_overhead.py can
+// measure the enabled-vs-disabled throughput delta on the same binary.
 
 #include <chrono>
 #include <cinttypes>
@@ -29,6 +34,8 @@ int main(int argc, char** argv) {
   std::string name = "static_8k";
   double duration = 0.0;  // 0 = scenario default
   std::uint64_t seed = 42;
+  bool obs = false;
+  bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
       name = argv[++i];
@@ -36,17 +43,31 @@ int main(int argc, char** argv) {
       duration = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--obs") == 0) {
+      obs = true;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--scenario NAME] [--duration SEC] [--seed S]\n",
+                   "usage: %s [--scenario NAME] [--duration SEC] [--seed S] "
+                   "[--obs] [--quiet]\n",
                    argv[0]);
       return 1;
     }
   }
+  // Human-readable summaries go through the leveled logger: visible by
+  // default, silenced wholesale by --quiet (the JSON record always
+  // prints — it is the bench's contract).
+  util::set_log_level(quiet ? util::LogLevel::kWarn : util::LogLevel::kInfo);
 
   const auto scenario = bench::require_scenario(name);
   auto spec = runner::spec_for(scenario, seed);
   if (duration > 0.0) spec.duration = duration;
+  if (obs) {
+    spec.config.obs.profile = true;
+    spec.config.obs.trace = true;
+    spec.config.obs.counters = true;
+  }
 
   // Build the snapshot outside the timed region: trace generation is
   // not the engine under test.
@@ -65,20 +86,27 @@ int main(int argc, char** argv) {
   // within one capacity window and stay full). This is the record the
   // 100k-node sizing works from: which per-node container dominates.
   const auto memory = session.memory_footprint();
-  std::fprintf(stderr,
-               "  %s: %.2fs wall, %" PRIu64 " events (%.0f events/s), peak queue %zu\n",
-               name.c_str(), wall, events, static_cast<double>(events) / wall, peak);
-  std::fprintf(stderr,
-               "  memory: %.0f B/node (buffers %zu KiB, neighbors %zu KiB, "
-               "dht %zu KiB, inflight %zu KiB)\n",
-               memory.per_node_bytes(), memory.buffer_bytes >> 10,
-               memory.neighbor_bytes >> 10, memory.dht_bytes >> 10,
-               memory.inflight_bytes >> 10);
+  {
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "%s: %.2fs wall, %" PRIu64 " events (%.0f events/s), peak queue %zu",
+                  name.c_str(), wall, events, static_cast<double>(events) / wall,
+                  peak);
+    util::Log(util::LogLevel::kInfo) << line;
+    std::snprintf(line, sizeof line,
+                  "memory: %.0f B/node (buffers %zu KiB, neighbors %zu KiB, "
+                  "dht %zu KiB, inflight %zu KiB)",
+                  memory.per_node_bytes(), memory.buffer_bytes >> 10,
+                  memory.neighbor_bytes >> 10, memory.dht_bytes >> 10,
+                  memory.inflight_bytes >> 10);
+    util::Log(util::LogLevel::kInfo) << line;
+  }
   std::printf(
       "{\"bench\": \"large_session\", \"scenario\": \"%s\", \"nodes\": %zu, "
       "\"duration\": %.1f, \"seed\": %" PRIu64 ", \"wall_seconds\": %.3f, "
       "\"events\": %" PRIu64 ", \"events_per_sec\": %.1f, "
       "\"peak_queue_depth\": %zu, \"hardware_concurrency\": %u, "
+      "\"obs_enabled\": %s, "
       "\"memory\": {\"measured_at\": \"end_of_run\", \"measured_nodes\": %zu, "
       "\"per_node_bytes\": %.1f, \"buffer_bytes\": %zu, "
       "\"neighbor_bytes\": %zu, \"dht_bytes\": %zu, \"inflight_bytes\": %zu, "
@@ -90,7 +118,7 @@ int main(int argc, char** argv) {
       "\"blacklist_bytes\": %zu}}}\n",
       name.c_str(), scenario.node_count, spec.duration, seed, wall, events,
       static_cast<double>(events) / wall, peak,
-      std::thread::hardware_concurrency(), memory.nodes,
+      std::thread::hardware_concurrency(), obs ? "true" : "false", memory.nodes,
       memory.per_node_bytes(), memory.buffer_bytes, memory.neighbor_bytes,
       memory.dht_bytes, memory.inflight_bytes, memory.total_bytes(),
       memory.neighbor_set_bytes, memory.overheard_bytes,

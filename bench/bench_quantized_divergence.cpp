@@ -174,10 +174,10 @@ int main(int argc, char** argv) {
   if (names.empty()) {
     for (const auto& scenario : runner::scenario_matrix()) {
       if (scenario.node_count > kLargeNodeThreshold) {
-        std::fprintf(stderr, "skipping %s (%zu nodes > %zu; name it via "
-                     "--scenarios to include it)\n",
-                     scenario.name.c_str(), scenario.node_count,
-                     kLargeNodeThreshold);
+        util::Log(util::LogLevel::kWarn)
+            << "skipping " << scenario.name << " (" << scenario.node_count
+            << " nodes > " << kLargeNodeThreshold
+            << "; name it via --scenarios to include it)";
         continue;
       }
       scenarios.push_back(scenario);

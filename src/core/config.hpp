@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "fault/fault_plan.hpp"
+#include "obs/obs_config.hpp"
 #include "overlay/churn.hpp"
 #include "util/types.hpp"
 
@@ -94,6 +95,14 @@ struct SystemConfig {
   /// prefetch planes. Off by default (zero-fault hot path untouched);
   /// the f*_ scenario families switch it on.
   fault::RetryPolicy retry{};
+
+  // --- observability -------------------------------------------------------
+  /// Deterministic observability layer (src/obs/): phase profiler,
+  /// structured trace export, counter registry. All off by default;
+  /// enabling any pillar never moves a result fingerprint (obs writes
+  /// only to obs-owned state — CI diffs fingerprints obs-on vs
+  /// obs-off to enforce it).
+  obs::ObsConfig obs{};
 
   // --- neighbor maintenance ----------------------------------------------
   /// Replace a neighbor whose smoothed supply rate is below this many

@@ -7,6 +7,10 @@
 #include "analysis/continuity_model.hpp"
 #include "core/buffer_map.hpp"
 #include "net/message.hpp"
+#include "obs/counters.hpp"
+#include "obs/phase_profiler.hpp"
+#include "obs/report.hpp"
+#include "obs/trace_sink.hpp"
 #include "trace/topology.hpp"
 #include "util/logging.hpp"
 
@@ -139,6 +143,7 @@ Session::Session(const SystemConfig& config, const trace::TraceSnapshot& snapsho
     net::Network::ShardHooks hooks;
     hooks.on_fork = [this](std::size_t shards) {
       delivery_shard_stats_.assign(shards, SessionStats{});
+      obs_ensure_shards(shards);
     };
     hooks.scratch = [this](std::size_t shard) -> void* {
       return &delivery_shard_stats_[shard];
@@ -162,6 +167,28 @@ Session::Session(const SystemConfig& config, const trace::TraceSnapshot& snapsho
         std::make_unique<fault::FaultInjector>(config_.fault, config_.seed);
     network_.set_fault_injector(fault_injector_.get());
   }
+  // Observability pillars (all optional). Wiring order matters only in
+  // that the profiler's span sink must exist before the first fork.
+  if (config_.obs.profile) {
+    profiler_ = std::make_unique<obs::PhaseProfiler>();
+    profiler_->set_threads(exec_.threads());
+    exec_.set_observer(profiler_.get());
+  }
+  if (config_.obs.trace) {
+    trace_ = std::make_unique<obs::TraceSink>(config_.obs.trace_capacity,
+                                              config_.obs.trace_node);
+    if (profiler_ != nullptr) profiler_->set_span_sink(trace_.get());
+  }
+  if (config_.obs.counters) {
+    obs_counters_ = std::make_unique<obs::CounterRegistry>();
+    ctr_prepare_nodes_ = obs_counters_->declare("round.prepare_nodes");
+    ctr_plan_nodes_ = obs_counters_->declare("round.plan_nodes");
+    ctr_pull_requests_ = obs_counters_->declare("delivery.pull_requests");
+    ctr_segments_delivered_ = obs_counters_->declare("delivery.segments");
+    ctr_stall_transitions_ = obs_counters_->declare("sample.stall_transitions");
+    obs_counters_->ensure_shards(1);
+  }
+  network_.set_observability(profiler_.get(), trace_.get());
   build_nodes(snapshot);
   assign_initial_neighbors(snapshot);
   populate_initial_dht();
@@ -384,6 +411,8 @@ void Session::run_round_batch(const std::vector<std::size_t>& users) {
       sim::parallel::ParallelExecutor::shard_count(n, kPlanGrain);
   if (shard_emissions_.size() < shards) shard_emissions_.resize(shards);
   if (prepare_shards_.size() < shards) prepare_shards_.resize(shards);
+  obs_ensure_shards(shards);
+  obs::PhaseProfiler* const prof = profiler_.get();
 
   // Phase 1a — prepare-local: forked. Per-node own-state maintenance;
   // cross-node reads are limited to batch-frozen state (see the
@@ -391,11 +420,15 @@ void Session::run_round_batch(const std::vector<std::size_t>& users) {
   // the per-shard PrepareShard scratch.
   shard_stats_.assign(shards, SessionStats{});
   for (std::size_t s = 0; s < shards; ++s) prepare_shards_[s].reset();
+  if (prof != nullptr) prof->begin_fork_phase(obs::Phase::kPrepareLocal, n);
   exec_.for_shards(n, kPlanGrain,
                    [this, &users](std::size_t s, std::size_t begin, std::size_t end) {
                      for (std::size_t i = begin; i < end; ++i) {
                        round_prepare_local(users[i], shard_stats_[s],
-                                           prepare_shards_[s]);
+                                           prepare_shards_[s], s);
+                     }
+                     if (obs_counters_ != nullptr) {
+                       obs_counters_->add(s, ctr_prepare_nodes_, end - begin);
                      }
                    });
   // Join — settle in shard order: stats deltas, then each shard's
@@ -406,16 +439,26 @@ void Session::run_round_batch(const std::vector<std::size_t>& users) {
   // Phase 1b — prepare-link: serial, batch (= add) order. Neighbor
   // repair mutates shared overlay link state reciprocally, so it can
   // never fork.
+  const std::uint64_t link_t0 =
+      prof != nullptr ? sim::parallel::monotonic_ns() : 0;
   for (const std::size_t user : users) round_prepare_link(user);
+  if (prof != nullptr) {
+    prof->record_serial(obs::Phase::kPrepareLink, link_t0,
+                        sim::parallel::monotonic_ns());
+  }
 
   // Phase 2 — plan: forked across shards.
   plans_.assign(n, RoundPlan{});
   shard_stats_.assign(shards, SessionStats{});
+  if (prof != nullptr) prof->begin_fork_phase(obs::Phase::kPlan, n);
   exec_.for_shards(n, kPlanGrain,
                    [this, &users](std::size_t s, std::size_t begin, std::size_t end) {
                      for (std::size_t i = begin; i < end; ++i) {
                        round_plan(users[i], plans_[i], shard_stats_[s],
                                   shard_emissions_[s]);
+                     }
+                     if (obs_counters_ != nullptr) {
+                       obs_counters_->add(s, ctr_plan_nodes_, end - begin);
                      }
                    });
 
@@ -425,10 +468,26 @@ void Session::run_round_batch(const std::vector<std::size_t>& users) {
   for (std::size_t s = 0; s < shards; ++s) shard_emissions_[s].flush_into(sim_);
 
   // Phase 3 — commit: serial, batch order.
+  const std::uint64_t commit_t0 =
+      prof != nullptr ? sim::parallel::monotonic_ns() : 0;
   for (std::size_t i = 0; i < n; ++i) round_commit(users[i], plans_[i]);
+  if (prof != nullptr) {
+    prof->record_serial(obs::Phase::kCommit, commit_t0,
+                        sim::parallel::monotonic_ns());
+  }
 }
 
-void Session::run(SimTime duration) { sim_.run_until(duration); }
+void Session::run(SimTime duration) {
+  if (profiler_ != nullptr) {
+    // Bracket the run wall so the Amdahl estimate has its base: serial
+    // time = run wall minus the executor's fork walls.
+    const std::uint64_t t0 = sim::parallel::monotonic_ns();
+    sim_.run_until(duration);
+    profiler_->add_run_wall(sim::parallel::monotonic_ns() - t0);
+    return;
+  }
+  sim_.run_until(duration);
+}
 
 std::size_t Session::alive_count() const {
   std::size_t count = 0;
@@ -501,7 +560,7 @@ void Session::on_node_round(std::size_t index) {
   PrepareShard& scratch = prepare_shards_.front();
   scratch.reset();
   SessionStats prepare_delta;
-  round_prepare_local(index, prepare_delta, scratch);
+  round_prepare_local(index, prepare_delta, scratch, /*obs_shard=*/0);
   stats_ += prepare_delta;
   apply_prepare_shard(scratch);
   round_prepare_link(index);
@@ -515,7 +574,7 @@ void Session::on_node_round(std::size_t index) {
 }
 
 void Session::round_prepare_local(std::size_t index, SessionStats& stats,
-                                  PrepareShard& shard) {
+                                  PrepareShard& shard, std::size_t obs_shard) {
   Node& node = *nodes_[index];
   if (!node.alive()) return;
   const SimTime now = sim_.now();
@@ -548,6 +607,15 @@ void Session::round_prepare_local(std::size_t index, SessionStats& stats,
         node.sweep_timeouts(cutoff, on_failed, &config_.retry, now, &hard);
     stats.retry_backoffs += hard.backoffs;
     stats.suppliers_blacklisted += hard.blacklists;
+    if (trace_ != nullptr && (hard.backoffs > 0 || hard.blacklists > 0)) {
+      obs::TraceEvent event;
+      event.time = now;
+      event.kind = obs::TraceEventKind::kRetryBackoff;
+      event.node = index32;
+      event.a = hard.backoffs;
+      event.b = hard.blacklists;
+      trace_->record(obs_shard, event);
+    }
   } else {
     stats.transfer_timeouts += node.sweep_timeouts(cutoff, on_failed);
   }
@@ -1004,6 +1072,20 @@ void Session::handle_segment_request(std::size_t supplier, std::size_t requester
   if (!sup.alive()) return;
   auto& stats = *static_cast<SessionStats*>(ctx.scratch());
   const SimTime now = sim_.now();
+  // Obs-owned writes only (counter lane + trace ring of this shard);
+  // ctx.shard() is 0 on the serial/immediate path.
+  if (obs_counters_ != nullptr) {
+    obs_counters_->add(ctx.shard(), ctr_pull_requests_, 1);
+  }
+  if (trace_ != nullptr) {
+    obs::TraceEvent event;
+    event.time = now;
+    event.kind = obs::TraceEventKind::kPullRequest;
+    event.node = static_cast<std::uint32_t>(requester);
+    event.peer = static_cast<std::uint32_t>(supplier);
+    event.a = ids.size();
+    trace_->record(ctx.shard(), event);
+  }
   const double horizon = kServeWithinPeriods * config_.scheduling_period;
   const double service_time = 1.0 / std::max(sup.outbound_rate(), 0.01);
   // Keep the urgent head of the request in priority order (the
@@ -1026,6 +1108,16 @@ void Session::handle_segment_request(std::size_t supplier, std::size_t requester
     request_rng.shuffle(tail);
     std::copy(tail.begin(), tail.end(), ids.begin() + kUrgentHead);
   }
+  // Per-id grant/refuse trace events share every field but kind and the
+  // segment id; building the template once keeps the per-segment cost
+  // of an enabled trace to a kind/id store and a ring push.
+  obs::TraceSink* const trace = trace_.get();
+  obs::TraceEvent serve_event;
+  if (trace != nullptr) {
+    serve_event.time = now;
+    serve_event.node = static_cast<std::uint32_t>(requester);
+    serve_event.peer = static_cast<std::uint32_t>(supplier);
+  }
   std::vector<SegmentId> refused;
   for (const SegmentId id : ids) {
     // Accept only transfers that complete within the service horizon of
@@ -1039,7 +1131,17 @@ void Session::handle_segment_request(std::size_t supplier, std::size_t requester
       // instead of waiting out a timeout.
       ++stats.segments_refused;
       refused.push_back(id);
+      if (trace != nullptr) {
+        serve_event.kind = obs::TraceEventKind::kPullRefused;
+        serve_event.a = id;
+        trace->record(ctx.shard(), serve_event);
+      }
       continue;
+    }
+    if (trace != nullptr) {
+      serve_event.kind = obs::TraceEventKind::kPullGrant;
+      serve_event.a = id;
+      trace->record(ctx.shard(), serve_event);
     }
     start_fluid_transfer(supplier, requester, id, MessageType::kSegmentData,
                          TransferKind::kScheduled, &ctx);
@@ -1150,6 +1252,18 @@ void Session::deliver_segment(std::size_t receiver, SegmentId id, TransferKind k
   const bool fresh = node.buffer().insert(id);
   ++stats.segments_delivered;
   if (!fresh) ++stats.duplicate_deliveries;
+  if (obs_counters_ != nullptr) {
+    obs_counters_->add(ctx.shard(), ctr_segments_delivered_, 1);
+  }
+  if (trace_ != nullptr) {
+    obs::TraceEvent event;
+    event.time = now;
+    event.kind = obs::TraceEventKind::kSegmentDelivery;
+    event.node = static_cast<std::uint32_t>(receiver);
+    event.a = id;
+    event.b = supplier;  // NodeId, not a session index
+    trace_->record(ctx.shard(), event);
+  }
 
   // Hardening: a completed delivery clears the segment's retry streak
   // and wipes the supplier's strike record. Receiver-own writes only,
@@ -1486,6 +1600,9 @@ void Session::drop_transfers_from_dead(const std::vector<NodeId>& dead_ids) {
   // in-flight table), so it shards across the executor — the serial
   // mass of a churn tick at 8000 nodes is this O(N) scan.
   if (dead_ids.empty()) return;
+  if (profiler_ != nullptr) {
+    profiler_->begin_fork_phase(obs::Phase::kChurnSweep, nodes_.size());
+  }
   exec_.for_shards(nodes_.size(), kSweepGrain,
                    [this, &dead_ids](std::size_t, std::size_t begin,
                                      std::size_t end) {
@@ -1682,9 +1799,13 @@ void Session::on_sample_tick() {
   const std::size_t n = nodes_.size();
   std::vector<SampleAccum> partials(
       sim::parallel::ParallelExecutor::shard_count(n, kSweepGrain));
+  obs_ensure_shards(partials.size());
+  if (profiler_ != nullptr) {
+    profiler_->begin_fork_phase(obs::Phase::kSampleSweep, n);
+  }
   exec_.for_shards(n, kSweepGrain,
-                   [this, &partials](std::size_t s, std::size_t begin,
-                                     std::size_t end) {
+                   [this, &partials, now](std::size_t s, std::size_t begin,
+                                          std::size_t end) {
                      SampleAccum& acc = partials[s];
                      for (std::size_t i = begin; i < end; ++i) {
                        Node& node = *nodes_[i];
@@ -1707,8 +1828,30 @@ void Session::on_sample_tick() {
                            if (!node.in_stall()) {
                              ++acc.stall_episodes;
                              node.set_in_stall(true);
+                             if (trace_ != nullptr) {
+                               obs::TraceEvent event;
+                               event.time = now;
+                               event.kind = obs::TraceEventKind::kStallStart;
+                               event.node = static_cast<std::uint32_t>(i);
+                               trace_->record(s, event);
+                             }
+                             if (obs_counters_ != nullptr) {
+                               obs_counters_->add(s, ctr_stall_transitions_, 1);
+                             }
                            }
                          } else if (rs.played > 0) {
+                           if (node.in_stall()) {
+                             if (trace_ != nullptr) {
+                               obs::TraceEvent event;
+                               event.time = now;
+                               event.kind = obs::TraceEventKind::kStallEnd;
+                               event.node = static_cast<std::uint32_t>(i);
+                               trace_->record(s, event);
+                             }
+                             if (obs_counters_ != nullptr) {
+                               obs_counters_->add(s, ctr_stall_transitions_, 1);
+                             }
+                           }
                            node.set_in_stall(false);
                          }
                        }
@@ -1797,6 +1940,89 @@ MemoryFootprint Session::memory_footprint() const {
                       fp.tag_set_bytes + fp.rate_table_bytes +
                       fp.retry_map_bytes + fp.blacklist_bytes;
   return fp;
+}
+
+// --------------------------------------------------------------------------
+// Observability
+// --------------------------------------------------------------------------
+
+void Session::obs_ensure_shards(std::size_t shards) {
+  if (trace_ != nullptr) trace_->ensure_shards(shards);
+  if (obs_counters_ != nullptr) obs_counters_->ensure_shards(shards);
+}
+
+std::shared_ptr<const obs::ObsReport> Session::obs_report() {
+  if (profiler_ == nullptr && trace_ == nullptr && obs_counters_ == nullptr) {
+    return nullptr;
+  }
+  auto report = std::make_shared<obs::ObsReport>();
+  if (profiler_ != nullptr) {
+    report->profile = true;
+    report->prof = profiler_->report();
+  } else {
+    report->prof.threads = exec_.threads();
+  }
+  if (trace_ != nullptr) {
+    report->trace = true;
+    report->events = trace_->drained_events();
+    report->spans = trace_->drained_spans();
+    report->trace_recorded = trace_->recorded();
+    report->trace_overwritten = trace_->overwritten();
+  }
+  if (obs_counters_ != nullptr) {
+    report->counters = true;
+    obs_counters_->settle();
+    const auto& names = obs_counters_->names();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      report->counter_values.emplace_back(
+          names[i], obs_counters_->value(static_cast<std::uint32_t>(i)));
+    }
+    // Snapshot-time mirrors: one registry dump carries what previously
+    // lived scattered across SessionStats getters, the engine counters
+    // and the bench JSON — the unified stats path.
+    const SessionStats& s = stats();
+    const auto put = [&report](const char* name, std::uint64_t value) {
+      report->counter_values.emplace_back(name, value);
+    };
+    put("session.segments_emitted", s.segments_emitted);
+    put("session.segments_delivered", s.segments_delivered);
+    put("session.duplicate_deliveries", s.duplicate_deliveries);
+    put("session.requests_sent", s.requests_sent);
+    put("session.segments_booked", s.segments_booked);
+    put("session.segments_refused", s.segments_refused);
+    put("session.candidates_seen", s.candidates_seen);
+    put("session.candidates_unassigned", s.candidates_unassigned);
+    put("session.prefetch_launched", s.prefetch_launched);
+    put("session.prefetch_succeeded", s.prefetch_succeeded);
+    put("session.prefetch_no_replica", s.prefetch_no_replica);
+    put("session.prefetch_suppressed", s.prefetch_suppressed);
+    put("session.segments_pushed", s.segments_pushed);
+    put("session.dht_route_messages", s.dht_route_messages);
+    put("session.dht_route_failures", s.dht_route_failures);
+    put("session.joins", s.joins);
+    put("session.graceful_leaves", s.graceful_leaves);
+    put("session.abrupt_leaves", s.abrupt_leaves);
+    put("session.neighbor_replacements", s.neighbor_replacements);
+    put("session.transfer_timeouts", s.transfer_timeouts);
+    put("session.mixed_batch_fallbacks", s.mixed_batch_fallbacks);
+    put("session.deliveries_dropped", s.deliveries_dropped);
+    put("session.deliveries_lost", s.deliveries_lost);
+    put("session.deliveries_partitioned", s.deliveries_partitioned);
+    put("session.fault_crashes", s.fault_crashes);
+    put("session.retry_backoffs", s.retry_backoffs);
+    put("session.suppliers_blacklisted", s.suppliers_blacklisted);
+    put("session.stall_episodes", s.stall_episodes);
+    put("session.stall_rounds", s.stall_rounds);
+    put("session.alive_at_end", alive_count());
+    // No engine.threads mirror: the counter snapshot is defined to be
+    // thread-count invariant (the obs tests diff it at widths 1..8);
+    // the width lives in ProfileReport::threads instead.
+    put("engine.events_executed", sim_.executed());
+    put("engine.peak_queue_depth", sim_.peak_pending());
+    put("net.delivery_batches", network_.delivery_batches());
+    put("net.batched_deliveries", network_.batched_deliveries());
+  }
+  return report;
 }
 
 }  // namespace continu::core

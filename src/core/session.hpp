@@ -37,6 +37,13 @@
 #include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
+namespace continu::obs {
+class CounterRegistry;
+class PhaseProfiler;
+class TraceSink;
+struct ObsReport;
+}  // namespace continu::obs
+
 namespace continu::core {
 
 /// Aggregate event counters exposed for tests, benches and examples.
@@ -179,6 +186,11 @@ class Session {
   /// each shard its own arena); lets tests assert the exchange path
   /// stops allocating at steady state at every thread count.
   [[nodiscard]] util::BitWindowArena::Stats window_arena_stats() const noexcept;
+  /// Materializes the observability snapshot (profiler totals, drained
+  /// trace, settled counters plus session/engine/network mirrors).
+  /// Returns nullptr when SystemConfig::obs left every pillar off.
+  /// Settling drains the counter lanes, so call once, after run().
+  [[nodiscard]] std::shared_ptr<const obs::ObsReport> obs_report();
 
   // --- introspection -----------------------------------------------------
   [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
@@ -295,8 +307,10 @@ class Session {
     }
   };
 
+  /// `obs_shard` routes trace events to the recording worker's ring
+  /// (0 on the serial fallback path); unused when tracing is off.
   void round_prepare_local(std::size_t index, SessionStats& stats,
-                           PrepareShard& shard);
+                           PrepareShard& shard, std::size_t obs_shard);
   void round_prepare_link(std::size_t index);
   /// Settles one shard's deferred prepare records: rate decays, then
   /// playback starts (record order), then the bulk wire charges.
@@ -384,6 +398,12 @@ class Session {
   // --- metrics -----------------------------------------------------------
   void on_sample_tick();
 
+  // --- observability -------------------------------------------------------
+  /// Serially grows the obs layer's per-shard structures (trace rings,
+  /// counter lanes) before a fork whose workers will record. No-op
+  /// when the corresponding pillar is off.
+  void obs_ensure_shards(std::size_t shards);
+
   // --- helpers -----------------------------------------------------------
   [[nodiscard]] bool alive_index(std::size_t index) const;
   [[nodiscard]] std::optional<std::size_t> alive_node_by_id(NodeId id) const;
@@ -437,6 +457,22 @@ class Session {
   /// proxy is an ordinary event and never overlaps a round batch, but
   /// sharing the buffer would couple two unrelated fork/join sites.
   std::vector<SessionStats> delivery_shard_stats_;
+
+  /// Deterministic observability (null = the pillar is disabled, which
+  /// leaves only pointer checks on the hot paths). Obs-owned state is
+  /// the ONLY state these ever write — no RNG draws, no node or queue
+  /// mutations — so enabling them cannot move a fingerprint; CI diffs
+  /// scenario fingerprints obs-on vs obs-off at threads 1 and 4.
+  std::unique_ptr<obs::PhaseProfiler> profiler_;
+  std::unique_ptr<obs::TraceSink> trace_;
+  std::unique_ptr<obs::CounterRegistry> obs_counters_;
+  /// Registry ids for the session's per-shard counters (valid only
+  /// when obs_counters_ is set).
+  std::uint32_t ctr_prepare_nodes_ = 0;
+  std::uint32_t ctr_plan_nodes_ = 0;
+  std::uint32_t ctr_pull_requests_ = 0;
+  std::uint32_t ctr_segments_delivered_ = 0;
+  std::uint32_t ctr_stall_transitions_ = 0;
 
   SegmentId emitted_ = 0;
   /// Mutable: stats() lazily mirrors Network::dropped() (see stats()).

@@ -31,14 +31,24 @@ std::vector<std::string> SeriesCollector::names() const {
 }
 
 util::RunningStats SeriesCollector::summarize(const std::string& name) const {
+  // Total by design: an unknown series summarizes to an empty
+  // RunningStats (count 0, mean 0) rather than throwing — summaries
+  // feed report tables, where a missing series is data, not a bug.
+  // series() keeps throwing for callers that want the hard error.
   util::RunningStats stats;
-  for (const auto& sample : series(name)) stats.add(sample.value);
+  const auto it = data_.find(name);
+  if (it == data_.end()) return stats;
+  for (const auto& sample : it->second) stats.add(sample.value);
   return stats;
 }
 
 double SeriesCollector::mean_from(const std::string& name, SimTime from) const {
+  // Total like summarize(): unknown, empty or fully-filtered series
+  // mean to 0.0 (RunningStats keeps mean_ = 0 with no samples).
+  const auto it = data_.find(name);
+  if (it == data_.end()) return 0.0;
   util::RunningStats stats;
-  for (const auto& sample : series(name)) {
+  for (const auto& sample : it->second) {
     if (sample.time >= from) stats.add(sample.value);
   }
   return stats.mean();

@@ -25,13 +25,19 @@ class SeriesCollector {
   [[nodiscard]] const std::vector<Sample>& series(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> names() const;
 
-  /// Summary statistics over one series' values.
+  /// Summary statistics over one series' values. Total: an unknown or
+  /// empty series yields an empty RunningStats (count 0) — it never
+  /// throws, unlike series().
   [[nodiscard]] util::RunningStats summarize(const std::string& name) const;
 
-  /// Mean of values with time >= from.
+  /// Mean of values with time >= from. Total: 0.0 for an unknown,
+  /// empty or fully-filtered series.
   [[nodiscard]] double mean_from(const std::string& name, SimTime from) const;
 
-  /// Writes all series as long-format CSV (series,time,value).
+  /// Writes all series as long-format CSV (series,time,value). Series
+  /// names containing commas, quotes or newlines are RFC-4180 quoted
+  /// by the CsvWriter, so hostile names round-trip instead of
+  /// corrupting columns.
   void write_csv(const std::string& path) const;
 
  private:

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "fault/fault_injector.hpp"
+#include "obs/phase_profiler.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace continu::net {
 
@@ -29,12 +31,31 @@ void Network::set_delivery_filter(std::function<bool(std::size_t)> filter) {
 void Network::set_shard_hooks(ShardHooks hooks) { hooks_ = std::move(hooks); }
 
 bool Network::apply_faults(std::size_t from, std::size_t to, SimTime& delay) {
+  // Fault classification happens on the serial send path, so the trace
+  // records ride ring 0. Obs-owned writes only — recording an eaten
+  // message does not change that it is eaten.
   switch (fault_->classify(from, to, sim_.now())) {
     case fault::FaultInjector::Fate::kLoss:
       ++fault_lost_;
+      if (obs_trace_ != nullptr) {
+        obs::TraceEvent event;
+        event.time = sim_.now();
+        event.kind = obs::TraceEventKind::kFaultLoss;
+        event.node = static_cast<std::uint32_t>(to);
+        event.peer = static_cast<std::uint32_t>(from);
+        obs_trace_->record_serial(event);
+      }
       return false;
     case fault::FaultInjector::Fate::kPartition:
       ++fault_partitioned_;
+      if (obs_trace_ != nullptr) {
+        obs::TraceEvent event;
+        event.time = sim_.now();
+        event.kind = obs::TraceEventKind::kFaultPartition;
+        event.node = static_cast<std::uint32_t>(to);
+        event.peer = static_cast<std::uint32_t>(from);
+        obs_trace_->record_serial(event);
+      }
       return false;
     case fault::FaultInjector::Fate::kDeliver:
       break;
@@ -106,6 +127,17 @@ void Network::dispatch_bucket(std::vector<ShardedEntry>& entries) {
   if (shards == 0) return;
   if (shard_scratch_.size() < shards) shard_scratch_.resize(shards);
   for (std::size_t s = 0; s < shards; ++s) shard_scratch_[s].reset();
+  if (obs_trace_ != nullptr) {
+    obs::TraceEvent event;
+    event.time = sim_.now();
+    event.kind = obs::TraceEventKind::kBucketFire;
+    event.a = entries.size();
+    event.b = count;
+    obs_trace_->record_serial(event);
+  }
+  if (obs_profiler_ != nullptr) {
+    obs_profiler_->begin_fork_phase(obs::Phase::kDeliveryBucket, entries.size());
+  }
   if (hooks_.on_fork) hooks_.on_fork(shards);
 
   // Fork. A worker owns a contiguous run of receiver groups; every

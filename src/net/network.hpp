@@ -45,6 +45,11 @@ namespace continu::fault {
 class FaultInjector;
 }
 
+namespace continu::obs {
+class PhaseProfiler;
+class TraceSink;
+}  // namespace continu::obs
+
 namespace continu::net {
 
 class Network {
@@ -186,6 +191,17 @@ class Network {
     fault_ = injector;
   }
 
+  /// Installs the session's observability sinks (either may be null =
+  /// that pillar is off). The network only ever WRITES obs-owned state
+  /// through these — bucket-fire phase brackets into the profiler,
+  /// fault-classification events into the trace — so installing them
+  /// cannot move a delivery schedule or a fingerprint.
+  void set_observability(obs::PhaseProfiler* profiler,
+                         obs::TraceSink* trace) noexcept {
+    obs_profiler_ = profiler;
+    obs_trace_ = trace;
+  }
+
   [[nodiscard]] const TrafficAccount& traffic() const noexcept { return traffic_; }
   [[nodiscard]] TrafficAccount& traffic() noexcept { return traffic_; }
   [[nodiscard]] const LatencyModel& latency() const noexcept { return latency_; }
@@ -309,6 +325,10 @@ class Network {
   fault::FaultInjector* fault_ = nullptr;
   std::uint64_t fault_lost_ = 0;
   std::uint64_t fault_partitioned_ = 0;
+
+  // --- observability (null = off) -----------------------------------------
+  obs::PhaseProfiler* obs_profiler_ = nullptr;
+  obs::TraceSink* obs_trace_ = nullptr;
 
   // --- quantized mode ----------------------------------------------------
   /// Receivers per shard of a bucket dispatch. Small on purpose: a

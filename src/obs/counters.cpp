@@ -1,0 +1,32 @@
+#include "obs/counters.hpp"
+
+#include <utility>
+
+namespace continu::obs {
+
+CounterRegistry::Id CounterRegistry::declare(std::string name) {
+  const Id id = static_cast<Id>(names_.size());
+  names_.push_back(std::move(name));
+  totals_.push_back(0);
+  for (auto& lane : lanes_) lane->slots.resize(names_.size(), 0);
+  return id;
+}
+
+void CounterRegistry::ensure_shards(std::size_t shards) {
+  while (lanes_.size() < shards) {
+    auto lane = std::make_unique<Lane>();
+    lane->slots.assign(names_.size(), 0);
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+void CounterRegistry::settle() {
+  for (auto& lane : lanes_) {
+    for (std::size_t i = 0; i < lane->slots.size(); ++i) {
+      totals_[i] += lane->slots[i];
+      lane->slots[i] = 0;
+    }
+  }
+}
+
+}  // namespace continu::obs

@@ -1,0 +1,61 @@
+#pragma once
+// Counter registry: named counters accumulated into per-shard lanes and
+// settled in shard order.
+//
+// Like the session's shard-stats buffers, a lane is owned exclusively
+// by one shard during a fork (serial code uses lane 0), so add() is a
+// plain unsynchronized increment — wait-free, allocation-free. settle()
+// folds lanes into totals walking lanes in shard index order, which
+// makes the totals — and any snapshot built from them — independent of
+// the thread count and of worker scheduling.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace continu::obs {
+
+class CounterRegistry {
+ public:
+  using Id = std::uint32_t;
+
+  /// Registers a counter and returns its dense id. Serial-only; call
+  /// before the run starts. Names are reported in declaration order.
+  Id declare(std::string name);
+
+  /// Grows the lane set to cover `shards`. Serial-only; call before a
+  /// fork whose workers will count.
+  void ensure_shards(std::size_t shards);
+
+  /// Wait-free, allocation-free; callable from the worker owning
+  /// `shard` mid-fork. Requires ensure_shards(shard + 1) to have run.
+  void add(std::size_t shard, Id id, std::uint64_t delta) noexcept {
+    lanes_[shard]->slots[id] += delta;
+  }
+
+  /// Folds every lane into the totals, in shard index order, and zeroes
+  /// the lanes. Serial-only.
+  void settle();
+
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept { return names_; }
+  [[nodiscard]] std::uint64_t value(Id id) const noexcept { return totals_[id]; }
+  [[nodiscard]] std::size_t lane_count() const noexcept { return lanes_.size(); }
+  /// Steady-state no-allocation witness: slot storage never moves.
+  [[nodiscard]] const void* lane_address(std::size_t shard) const noexcept {
+    return lanes_[shard]->slots.data();
+  }
+
+ private:
+  // unique_ptr keeps each lane's address stable as the vector grows, so
+  // a serial ensure_shards cannot move memory a later fork writes.
+  struct Lane {
+    std::vector<std::uint64_t> slots;
+  };
+  std::vector<std::string> names_;
+  std::vector<std::uint64_t> totals_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+}  // namespace continu::obs

@@ -1,0 +1,83 @@
+#include "obs/trace_sink.hpp"
+
+#include <algorithm>
+
+namespace continu::obs {
+
+void TraceRing::drain_to(std::vector<TraceEvent>& out) const {
+  const std::size_t n = size();
+  // Oldest retained event sits at head_ once the ring has wrapped.
+  const std::size_t start = recorded_ > capacity_ ? head_ : 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t at = start + k;
+    if (at >= capacity_) at -= capacity_;
+    out.push_back(events_[at]);
+  }
+}
+
+TraceSink::TraceSink(std::size_t capacity_per_shard, std::uint32_t node_filter)
+    : capacity_(capacity_per_shard == 0 ? 1 : capacity_per_shard),
+      node_filter_(node_filter),
+      spans_(4096),
+      span_capacity_(spans_.size()) {
+  ensure_shards(1);
+}
+
+void TraceSink::ensure_shards(std::size_t shards) {
+  while (rings_.size() < shards) {
+    rings_.push_back(std::make_unique<TraceRing>(capacity_));
+  }
+}
+
+void TraceSink::record_span(Phase phase, std::uint32_t shard, std::uint64_t t0_ns,
+                            std::uint64_t t1_ns) noexcept {
+  PhaseSpan& slot = spans_[span_head_];
+  slot.t0_ns = t0_ns;
+  slot.t1_ns = t1_ns;
+  slot.shard = shard;
+  slot.phase = phase;
+  span_head_ = span_head_ + 1 == span_capacity_ ? 0 : span_head_ + 1;
+  ++spans_recorded_;
+}
+
+std::vector<TraceEvent> TraceSink::drained_events() const {
+  std::vector<TraceEvent> out;
+  std::size_t total = 0;
+  for (const auto& ring : rings_) total += ring->size();
+  out.reserve(total);
+  for (const auto& ring : rings_) ring->drain_to(out);
+  // Stable: ties keep shard order, so the merged stream is independent
+  // of the thread count (shard structure already is).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.time < b.time; });
+  return out;
+}
+
+std::vector<PhaseSpan> TraceSink::drained_spans() const {
+  std::vector<PhaseSpan> out;
+  const std::size_t n = spans_recorded_ < span_capacity_
+                            ? static_cast<std::size_t>(spans_recorded_)
+                            : span_capacity_;
+  const std::size_t start = spans_recorded_ > span_capacity_ ? span_head_ : 0;
+  out.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t at = start + k;
+    if (at >= span_capacity_) at -= span_capacity_;
+    out.push_back(spans_[at]);
+  }
+  return out;
+}
+
+std::uint64_t TraceSink::recorded() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->recorded();
+  return total;
+}
+
+std::uint64_t TraceSink::overwritten() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->overwritten();
+  return total;
+}
+
+}  // namespace continu::obs

@@ -1,0 +1,163 @@
+#pragma once
+// Structured trace capture: fixed-capacity per-shard ring buffers of
+// sim-time protocol events plus a serial ring of wall-time phase spans.
+//
+// Determinism and thread-safety contract
+// --------------------------------------
+// Shard rings mirror the executor's shard decomposition: during a fork,
+// shard s writes only ring s (disjoint, no locks); serial code writes
+// ring 0. Because shard boundaries are a pure function of (count,
+// grain) — never of the thread count — ring contents are byte-identical
+// at threads 1 and 8. `ensure_shards` may allocate, but it is called
+// serially before a fork launches; the record calls themselves never
+// allocate (rings overwrite oldest), which the obs tests assert.
+// Draining concatenates rings in shard order and stable-sorts by sim
+// time, so the exported event stream is deterministic too.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/obs_config.hpp"
+#include "obs/phases.hpp"
+
+namespace continu::obs {
+
+enum class TraceEventKind : std::uint8_t {
+  kPullRequest = 0,  ///< node asked peer for segments (a = ids requested)
+  kPullGrant,        ///< supplier accepted one segment (a = segment id)
+  kPullRefused,      ///< supplier refused one segment (a = segment id)
+  kSegmentDelivery,  ///< segment arrived (a = segment id, b = supplier NodeId)
+  kStallStart,       ///< playback entered a stall at a sample tick
+  kStallEnd,         ///< playback left a stall at a sample tick
+  kFaultLoss,        ///< injector classified a send as lost (a = cause tag)
+  kFaultPartition,   ///< injector classified a send as partitioned (a = cause tag)
+  kRetryBackoff,     ///< hardened sweep backoffs (a = backoffs, b = blacklists)
+  kBucketFire,       ///< quantized bucket dispatched (a = entries, b = receiver groups)
+  kCount,
+};
+
+[[nodiscard]] inline const char* trace_event_name(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::kPullRequest: return "pull_request";
+    case TraceEventKind::kPullGrant: return "pull_grant";
+    case TraceEventKind::kPullRefused: return "pull_refused";
+    case TraceEventKind::kSegmentDelivery: return "segment_delivery";
+    case TraceEventKind::kStallStart: return "stall_start";
+    case TraceEventKind::kStallEnd: return "stall_end";
+    case TraceEventKind::kFaultLoss: return "fault_loss";
+    case TraceEventKind::kFaultPartition: return "fault_partition";
+    case TraceEventKind::kRetryBackoff: return "retry_backoff";
+    case TraceEventKind::kBucketFire: return "bucket_fire";
+    case TraceEventKind::kCount: break;
+  }
+  return "unknown";
+}
+
+/// Sentinel session index for "no node attached to this event".
+inline constexpr std::uint32_t kNoTraceNode = 0xFFFFFFFFu;
+
+struct TraceEvent {
+  double time = 0.0;  ///< sim-time seconds
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint32_t node = kNoTraceNode;  ///< session index, when known
+  std::uint32_t peer = kNoTraceNode;  ///< session index, when known
+  TraceEventKind kind = TraceEventKind::kCount;
+};
+
+/// Marker shard for spans recorded outside any fork.
+inline constexpr std::uint32_t kSerialSpanShard = 0xFFFFFFFFu;
+
+struct PhaseSpan {
+  std::uint64_t t0_ns = 0;  ///< monotonic wall clock
+  std::uint64_t t1_ns = 0;
+  std::uint32_t shard = kSerialSpanShard;
+  Phase phase = Phase::kOtherFork;
+};
+
+/// Overwrite-oldest event ring. push() never allocates.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity)
+      : events_(capacity == 0 ? 1 : capacity), capacity_(events_.size()) {}
+
+  void push(const TraceEvent& event) noexcept {
+    events_[head_] = event;
+    head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+    ++recorded_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return recorded_ < capacity_ ? static_cast<std::size_t>(recorded_) : capacity_;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t recorded() const noexcept { return recorded_; }
+  [[nodiscard]] std::uint64_t overwritten() const noexcept {
+    return recorded_ > capacity_ ? recorded_ - capacity_ : 0;
+  }
+  /// Steady-state no-allocation witness: storage address never moves.
+  [[nodiscard]] const TraceEvent* data() const noexcept { return events_.data(); }
+
+  /// Appends the retained events oldest-first.
+  void drain_to(std::vector<TraceEvent>& out) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+class TraceSink {
+ public:
+  TraceSink(std::size_t capacity_per_shard, std::uint32_t node_filter);
+
+  /// Grows the ring set to cover `shards`. Serial-only; call before a
+  /// fork whose workers will record (the session's obs_ensure_shards).
+  void ensure_shards(std::size_t shards);
+
+  [[nodiscard]] bool accepts(std::uint32_t node, std::uint32_t peer) const noexcept {
+    return node_filter_ == kTraceAllNodes || node == node_filter_ ||
+           peer == node_filter_;
+  }
+
+  /// Records into ring `shard` if the event passes the node filter.
+  /// Never allocates; safe from the worker owning `shard` mid-fork.
+  void record(std::size_t shard, const TraceEvent& event) noexcept {
+    if (!accepts(event.node, event.peer)) return;
+    rings_[shard]->push(event);
+  }
+
+  /// Serial-context convenience (immediate-mode delivery, fault
+  /// classification on the send path): ring 0.
+  void record_serial(const TraceEvent& event) noexcept { record(0, event); }
+
+  /// Wall-time phase span; serial-only (the profiler emits spans at
+  /// joins, on the calling thread).
+  void record_span(Phase phase, std::uint32_t shard, std::uint64_t t0_ns,
+                   std::uint64_t t1_ns) noexcept;
+
+  /// Rings concatenated in shard order, stable-sorted by sim time.
+  [[nodiscard]] std::vector<TraceEvent> drained_events() const;
+  /// Retained phase spans, oldest-first.
+  [[nodiscard]] std::vector<PhaseSpan> drained_spans() const;
+
+  [[nodiscard]] std::uint64_t recorded() const noexcept;
+  [[nodiscard]] std::uint64_t overwritten() const noexcept;
+  [[nodiscard]] std::size_t shard_rings() const noexcept { return rings_.size(); }
+  [[nodiscard]] const TraceRing& ring(std::size_t shard) const { return *rings_[shard]; }
+
+ private:
+  std::size_t capacity_;
+  std::uint32_t node_filter_;
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+  // Span ring: serial writer only, overwrite-oldest like the event rings.
+  std::vector<PhaseSpan> spans_;
+  std::size_t span_capacity_;
+  std::size_t span_head_ = 0;
+  std::uint64_t spans_recorded_ = 0;
+};
+
+}  // namespace continu::obs

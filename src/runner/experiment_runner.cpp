@@ -86,6 +86,7 @@ ReplicationResult ExperimentRunner::run_one(const ReplicationSpec& spec) {
   out.stats = session.stats();
   out.continuity = session.continuity();
   out.collector = session.collector();
+  out.obs = session.obs_report();  // null unless config.obs enabled a pillar
   return out;
 }
 

@@ -62,6 +62,11 @@ struct ReplicationResult {
   core::SessionStats stats;
   metrics::ContinuityTracker continuity;  ///< per-round ratio track
   metrics::SeriesCollector collector;     ///< all named series
+  /// Observability snapshot (profiler totals, drained trace, settled
+  /// counters); null unless the spec's config.obs enabled a pillar.
+  /// shared_ptr: results are copied during aggregation and a report can
+  /// be megabytes of trace events.
+  std::shared_ptr<const obs::ObsReport> obs;
 };
 
 /// Merged view over many replications: mean/stddev of the headline

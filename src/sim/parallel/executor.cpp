@@ -1,8 +1,16 @@
 #include "sim/parallel/executor.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace continu::sim::parallel {
+
+std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 ParallelExecutor::ParallelExecutor(unsigned threads) : threads_(threads) {
   if (threads_ == 0) {
@@ -29,14 +37,25 @@ void ParallelExecutor::for_shards(std::size_t count, std::size_t grain,
   if (grain == 0) grain = 1;
   const std::size_t shards = shard_count(count, grain);
   if (shards == 0) return;
+  ForkObserver* const obs = observer_;
+  const std::uint64_t fork_t0 = obs != nullptr ? monotonic_ns() : 0;
+  if (obs != nullptr) obs->on_fork(shards);
   if (workers_.empty() || shards == 1) {
     // Inline path: the SAME shard decomposition as the pooled path, so
     // per-shard accumulation (and its floating-point merge order) is
     // identical at every thread count.
     for (std::size_t s = 0; s < shards; ++s) {
       const std::size_t begin = s * grain;
-      fn(s, begin, std::min(count, begin + grain));
+      const std::size_t end = std::min(count, begin + grain);
+      if (obs != nullptr) {
+        const std::uint64_t t0 = monotonic_ns();
+        fn(s, begin, end);
+        obs->on_shard_done(s, t0, monotonic_ns());
+      } else {
+        fn(s, begin, end);
+      }
     }
+    if (obs != nullptr) obs->on_join(fork_t0, monotonic_ns());
     return;
   }
 
@@ -60,6 +79,8 @@ void ParallelExecutor::for_shards(std::size_t count, std::size_t grain,
     done_cv_.wait(lock, [this] { return completed_ == shards_; });
     fn_ = nullptr;  // no late claims against a finished job
   }
+  // The join above synchronizes every worker's on_shard_done writes.
+  if (obs != nullptr) obs->on_join(fork_t0, monotonic_ns());
   // Rethrow by shard index, not completion order, so WHICH error
   // surfaces is as deterministic as everything else.
   for (std::size_t s = 0; s < shards; ++s) {
@@ -81,12 +102,15 @@ void ParallelExecutor::run_claims(std::uint64_t job_epoch) {
       end = std::min(count_, begin + grain_);
       fn = fn_;
     }
+    ForkObserver* const obs = observer_;
     std::exception_ptr error = nullptr;
+    const std::uint64_t t0 = obs != nullptr ? monotonic_ns() : 0;
     try {
       (*fn)(s, begin, end);
     } catch (...) {
       error = std::current_exception();
     }
+    if (obs != nullptr) obs->on_shard_done(s, t0, monotonic_ns());
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (error) errors_[s] = error;

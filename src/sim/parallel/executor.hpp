@@ -32,6 +32,30 @@
 
 namespace continu::sim::parallel {
 
+/// Monotonic wall clock in nanoseconds, shared by the executor's shard
+/// timing and the obs layer's serial-span brackets so every timestamp
+/// lives on one axis.
+[[nodiscard]] std::uint64_t monotonic_ns() noexcept;
+
+/// Passive fork/join instrumentation hook (the obs layer's phase
+/// profiler). on_fork and on_join run serially on the calling thread,
+/// bracketing the job; on_shard_done runs on whichever worker executed
+/// the shard but may only touch state indexed by that shard — the
+/// executor's join synchronizes those writes before on_join reads them.
+/// Observers must not throw and must not call back into the executor.
+class ForkObserver {
+ public:
+  virtual ~ForkObserver() = default;
+  /// A job of `shards` shards is about to launch (serial, pre-fork).
+  virtual void on_fork(std::size_t shards) = 0;
+  /// Shard `shard` ran on [t0_ns, t1_ns] (worker thread, mid-fork).
+  virtual void on_shard_done(std::size_t shard, std::uint64_t t0_ns,
+                             std::uint64_t t1_ns) = 0;
+  /// The job joined; fork_t0_ns..join_t1_ns is the fork wall time
+  /// (serial, post-join — every on_shard_done is visible here).
+  virtual void on_join(std::uint64_t fork_t0_ns, std::uint64_t join_t1_ns) = 0;
+};
+
 class ParallelExecutor {
  public:
   /// fn(shard, begin, end): process items [begin, end) of the current
@@ -65,6 +89,11 @@ class ParallelExecutor {
   /// inside a shard are not supported.
   void for_shards(std::size_t count, std::size_t grain, const ShardFn& fn);
 
+  /// Installs (or clears, with nullptr) the fork/join observer. Serial
+  /// only — never call while a job is in flight. When no observer is
+  /// set the cost is one pointer check per fork and per shard claim.
+  void set_observer(ForkObserver* observer) noexcept { observer_ = observer; }
+
  private:
   void worker_loop();
   /// Claims and runs shards of the current job until none remain.
@@ -72,6 +101,9 @@ class ParallelExecutor {
 
   unsigned threads_;
   std::vector<std::thread> workers_;
+  // Not guarded by mutex_: written serially between jobs, read by
+  // workers only during a job (the job-start notify publishes it).
+  ForkObserver* observer_ = nullptr;
 
   std::mutex mutex_;
   std::condition_variable start_cv_;

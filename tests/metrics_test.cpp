@@ -4,6 +4,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 
 #include "metrics/collector.hpp"
 #include "metrics/continuity.hpp"
@@ -82,6 +83,65 @@ TEST(Collector, MeanFrom) {
   collector.record("x", 10.0, 2.0);
   collector.record("x", 11.0, 4.0);
   EXPECT_DOUBLE_EQ(collector.mean_from("x", 10.0), 3.0);
+}
+
+TEST(Collector, SummarizeUnknownSeriesIsEmpty) {
+  SeriesCollector collector;
+  const auto stats = collector.summarize("never-recorded");
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 0.0);
+}
+
+TEST(Collector, MeanFromUnknownOrFilteredIsZero) {
+  SeriesCollector collector;
+  EXPECT_DOUBLE_EQ(collector.mean_from("never-recorded", 0.0), 0.0);
+  collector.record("x", 1.0, 42.0);
+  collector.record("x", 2.0, 43.0);
+  // Cutoff past every sample: the filter drops everything.
+  EXPECT_DOUBLE_EQ(collector.mean_from("x", 100.0), 0.0);
+}
+
+TEST(Collector, CsvEscapesHostileSeriesNames) {
+  SeriesCollector collector;
+  collector.record("bad,name", 1.0, 1.0);
+  collector.record("worse\nname", 2.0, 2.0);
+  collector.record("\"quoted\"", 3.0, 3.0);
+  const std::string path = ::testing::TempDir() + "/collector_hostile.csv";
+  collector.write_csv(path);
+
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  // RFC 4180: fields with separators are quoted, embedded quotes doubled.
+  EXPECT_NE(text.find("\"bad,name\","), std::string::npos);
+  EXPECT_NE(text.find("\"worse\nname\","), std::string::npos);
+  EXPECT_NE(text.find("\"\"\"quoted\"\"\","), std::string::npos);
+  // The comma inside the name must not create a fourth column: every
+  // parsed record still has exactly three fields.
+  std::size_t records = 0;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    std::size_t fields = 1;
+    bool quoted = false;
+    for (; i < text.size(); ++i) {
+      const char c = text[i];
+      if (quoted) {
+        if (c == '"') quoted = false;
+      } else if (c == '"') {
+        quoted = true;
+      } else if (c == ',') {
+        ++fields;
+      } else if (c == '\n') {
+        ++i;
+        break;
+      }
+    }
+    EXPECT_EQ(fields, 3u);
+    ++records;
+  }
+  EXPECT_EQ(records, 4u);  // header + three samples
+  std::filesystem::remove(path);
 }
 
 TEST(Collector, WritesCsv) {

@@ -20,16 +20,22 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/session.hpp"
 #include "net/message.hpp"
+#include "obs/obs_config.hpp"
+#include "obs/report.hpp"
 #include "runner/cli.hpp"
 #include "runner/experiment_runner.hpp"
 #include "runner/scenario.hpp"
 #include "trace/generator.hpp"
 #include "trace/trace.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -55,6 +61,10 @@ struct CliOptions {
   std::size_t replications = 1;
   bool list_scenarios = false;
   bool quiet = false;
+  bool profile = false;
+  std::string trace_out;
+  std::string stats_json;
+  long long trace_node = -1;  // -1 = all nodes
   /// Workload-shaping flags the user actually typed (even at their
   /// default values) — incompatible with --scenario.
   std::vector<std::string> workload_flags_seen;
@@ -93,6 +103,14 @@ void print_usage(const char* argv0) {
       "                       per-rep one file per replication: <out>.rep<k>.csv\n"
       "                       long    one merged long-format file with a\n"
       "                               leading 'replication' column\n"
+      "  --profile          print the phase-profiler breakdown (serial vs forked\n"
+      "                     wall time, shard imbalance, Amdahl serial fraction)\n"
+      "  --trace-out FILE   export protocol events + phase spans as Chrome\n"
+      "                     trace-event JSON (open in about://tracing or Perfetto)\n"
+      "  --trace-node N     restrict --trace-out protocol events to node index N\n"
+      "  --stats-json FILE  dump settled counters + profile totals as JSON\n"
+      "                     (observability runs on replication 0 only and never\n"
+      "                     changes simulation results)\n"
       "  --quiet            print only the final summary line\n"
       "  --help             this text\n",
       argv0);
@@ -214,6 +232,24 @@ void print_usage(const char* argv0) {
       opt.vary_trace_seed = true;
     } else if (arg == "--quiet") {
       opt.quiet = true;
+    } else if (arg == "--profile") {
+      opt.profile = true;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.trace_out = v;
+    } else if (arg == "--trace-node") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.trace_node = std::strtoll(v, nullptr, 10);
+      if (opt.trace_node < 0) {
+        std::fprintf(stderr, "--trace-node expects a node index >= 0, got '%s'\n", v);
+        return std::nullopt;
+      }
+    } else if (arg == "--stats-json") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.stats_json = v;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       print_usage(argv[0]);
@@ -298,6 +334,7 @@ int main(int argc, char** argv) {
   const auto parsed = parse(argc, argv);
   if (!parsed.has_value()) return 1;
   const CliOptions& opt = *parsed;
+  if (opt.quiet) util::set_log_level(util::LogLevel::kError);
 
   if (opt.list_scenarios) {
     std::printf("%-20s %-6s %-6s %s\n", "name", "nodes", "churn", "description");
@@ -342,12 +379,24 @@ int main(int argc, char** argv) {
   const std::size_t nodes =
       spec.snapshot ? spec.snapshot->node_count() : spec.trace.node_count;
 
+  // Observability is per-session opt-in and guaranteed side-effect-free
+  // (obs-owned state only), so enabling it here cannot change any metric.
+  spec.config.obs.profile = opt.profile;
+  spec.config.obs.trace = !opt.trace_out.empty();
+  spec.config.obs.counters = !opt.stats_json.empty();
+  if (opt.trace_node >= 0) {
+    spec.config.obs.trace_node = static_cast<std::uint32_t>(opt.trace_node);
+  }
+
   const runner::ExperimentRunner pool(opt.jobs, opt.threads);
   runner::ReplicateOptions rep_options;
   rep_options.vary_trace_seed = opt.vary_trace_seed;
-  const auto specs = opt.replications == 1
-                         ? std::vector<runner::ReplicationSpec>{spec}
-                         : runner::replicate(spec, opt.replications, rep_options);
+  auto specs = opt.replications == 1
+                   ? std::vector<runner::ReplicationSpec>{spec}
+                   : runner::replicate(spec, opt.replications, rep_options);
+  // A sweep only instruments replication 0: one representative profile
+  // instead of R interleaved ones, and no obs memory cost on the rest.
+  for (std::size_t k = 1; k < specs.size(); ++k) specs[k].config.obs = {};
   const auto experiment = pool.run_experiment(specs);
   const auto& first = experiment.runs.front();
 
@@ -431,23 +480,23 @@ int main(int argc, char** argv) {
         if (!opt.quiet) std::printf("series CSV        : %s\n", path.c_str());
       }
     } else if (opt.csv_mode == "long" && opt.replications > 1) {
-      // Merged long format: replication,series,time,value.
-      std::FILE* f = std::fopen(opt.csv_path.c_str(), "w");
-      if (f == nullptr) {
+      // Merged long format: replication,series,time,value. CsvWriter
+      // RFC-4180-quotes hostile series names (commas, newlines) instead
+      // of letting them shear the column grid.
+      util::CsvWriter csv(opt.csv_path, {"replication", "series", "time", "value"});
+      if (!csv.ok()) {
         std::fprintf(stderr, "cannot write %s\n", opt.csv_path.c_str());
         return 1;
       }
-      std::fprintf(f, "replication,series,time,value\n");
       for (std::size_t k = 0; k < experiment.runs.size(); ++k) {
         const auto& collector = experiment.runs[k].collector;
         for (const auto& name : collector.names()) {
           for (const auto& sample : collector.series(name)) {
-            std::fprintf(f, "%zu,%s,%.6f,%.10g\n", k, name.c_str(), sample.time,
-                         sample.value);
+            csv.add_row({std::to_string(k), name, util::Table::num(sample.time, 6),
+                         util::Table::num(sample.value, 10)});
           }
         }
       }
-      std::fclose(f);
       if (!opt.quiet) {
         std::printf("series CSV        : %s (long format, %zu replications)\n",
                     opt.csv_path.c_str(), experiment.runs.size());
@@ -455,6 +504,40 @@ int main(int argc, char** argv) {
     } else {
       first.collector.write_csv(opt.csv_path);
       if (!opt.quiet) std::printf("series CSV        : %s\n", opt.csv_path.c_str());
+    }
+  }
+
+  if (first.obs) {
+    const obs::ObsReport& report = *first.obs;
+    if (report.profile && !opt.quiet) obs::print_profile(report, stdout);
+    if (!opt.trace_out.empty()) {
+      if (!obs::write_chrome_trace(report, opt.trace_out)) {
+        std::fprintf(stderr, "cannot write %s\n", opt.trace_out.c_str());
+        return 1;
+      }
+      if (!opt.quiet) {
+        std::printf("trace JSON        : %s (%zu events, %zu spans)\n",
+                    opt.trace_out.c_str(), report.events.size(),
+                    report.spans.size());
+      }
+    }
+    if (!opt.stats_json.empty()) {
+      const std::vector<std::pair<std::string, double>> headline = {
+          {"stable_continuity", first.stable_continuity},
+          {"continuity_index", first.continuity_index},
+          {"control_overhead", first.control_overhead},
+          {"prefetch_overhead", first.prefetch_overhead},
+      };
+      const std::string label =
+          opt.scenario.empty() ? std::string(system_name) : opt.scenario;
+      if (!obs::write_stats_json(report, opt.stats_json, label, first.seed,
+                                 headline)) {
+        std::fprintf(stderr, "cannot write %s\n", opt.stats_json.c_str());
+        return 1;
+      }
+      if (!opt.quiet) {
+        std::printf("stats JSON        : %s\n", opt.stats_json.c_str());
+      }
     }
   }
   return 0;

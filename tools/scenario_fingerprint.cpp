@@ -17,8 +17,13 @@
 // (static_100k alone takes ~15 minutes per thread setting); pass
 // --include-large to sweep those too, or name them via --only.
 //
+// --obs runs every session with the full observability layer enabled
+// (profiler + trace + counters) while printing the SAME output — the
+// obs-on vs obs-off diff is the CI gate proving observability never
+// perturbs the engine.
+//
 //   scenario_fingerprint [--seed S] [--only NAME[,NAME...]] [--threads N]
-//                        [--include-large]
+//                        [--include-large] [--obs] [--quiet]
 
 #include <cinttypes>
 #include <cstdio>
@@ -30,6 +35,7 @@
 #include "runner/cli.hpp"
 #include "runner/experiment_runner.hpp"
 #include "runner/scenario.hpp"
+#include "util/logging.hpp"
 
 int main(int argc, char** argv) {
   using namespace continu;
@@ -37,6 +43,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   unsigned threads = 1;
   bool include_large = false;
+  bool obs = false;
   std::vector<std::string> only;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
@@ -59,6 +66,10 @@ int main(int argc, char** argv) {
       threads = *parsed;
     } else if (std::strcmp(argv[i], "--include-large") == 0) {
       include_large = true;
+    } else if (std::strcmp(argv[i], "--obs") == 0) {
+      obs = true;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      util::set_log_level(util::LogLevel::kError);
     } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
       std::string list = argv[++i];
       std::size_t pos = 0;
@@ -72,7 +83,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seed S] [--only NAME[,NAME...]] [--threads N] "
-                   "[--include-large]\n",
+                   "[--include-large] [--obs] [--quiet]\n",
                    argv[0]);
       return 1;
     }
@@ -101,11 +112,10 @@ int main(int argc, char** argv) {
   if (only.empty()) {
     for (const auto& scenario : runner::scenario_matrix()) {
       if (!include_large && scenario.node_count > kLargeNodeThreshold) {
-        std::fprintf(stderr,
-                     "skipping %s (%zu nodes > %zu; pass --include-large or "
-                     "--only %s to run it)\n",
-                     scenario.name.c_str(), scenario.node_count,
-                     kLargeNodeThreshold, scenario.name.c_str());
+        util::Log(util::LogLevel::kWarn)
+            << "skipping " << scenario.name << " (" << scenario.node_count
+            << " nodes > " << kLargeNodeThreshold << "; pass --include-large or "
+            << "--only " << scenario.name << " to run it)";
         continue;
       }
       scenarios.push_back(scenario);
@@ -117,6 +127,11 @@ int main(int argc, char** argv) {
   for (const auto& scenario : scenarios) {
     auto spec = runner::spec_for(scenario, seed);
     spec.config.threads = threads;
+    if (obs) {
+      spec.config.obs.profile = true;
+      spec.config.obs.trace = true;
+      spec.config.obs.counters = true;
+    }
     const auto run = runner::ExperimentRunner::run_one(spec);
     const auto& s = run.stats;
     std::printf(
