@@ -12,7 +12,14 @@
 // curve is expected ~1.0x (hardware_concurrency records that); the
 // ROADMAP "≥2x at 4 threads" target is judged on 4+ core hardware.
 //
+// --sharded-queue runs every point on the sharded event-queue engine;
+// the fingerprint cross-check then ALSO proves the sharded engine
+// reproduces the single-queue result at every width (the reference
+// point at threads=1 still runs sharded — byte-identity to the
+// single-queue engine is the fingerprint oracle's job).
+//
 //   bench_session_scaling [--scenario NAME] [--duration SEC] [--seed S]
+//                         [--sharded-queue]
 
 #include <chrono>
 #include <cinttypes>
@@ -32,6 +39,7 @@ int main(int argc, char** argv) {
   std::string name = "static_1k";
   double duration = 0.0;  // 0 = scenario default
   std::uint64_t seed = 42;
+  bool sharded_queue = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
       name = argv[++i];
@@ -45,9 +53,12 @@ int main(int argc, char** argv) {
         return 1;
       }
       seed = *parsed;
+    } else if (std::strcmp(argv[i], "--sharded-queue") == 0) {
+      sharded_queue = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--scenario NAME] [--duration SEC] [--seed S]\n",
+                   "usage: %s [--scenario NAME] [--duration SEC] [--seed S] "
+                   "[--sharded-queue]\n",
                    argv[0]);
       return 1;
     }
@@ -56,6 +67,7 @@ int main(int argc, char** argv) {
   const auto scenario = bench::require_scenario(name);
   auto spec = runner::spec_for(scenario, seed);
   if (duration > 0.0) spec.duration = duration;
+  spec.config.sharded_queue = sharded_queue;
   // Build the snapshot once, outside every timed region.
   spec.snapshot = std::make_shared<const trace::TraceSnapshot>(
       trace::generate_snapshot(spec.trace));
@@ -91,8 +103,10 @@ int main(int argc, char** argv) {
 
   std::printf("{\"bench\": \"session_scaling\", \"scenario\": \"%s\", "
               "\"nodes\": %zu, \"duration\": %.1f, \"seed\": %" PRIu64 ", "
+              "\"sharded_queue\": %s, "
               "\"hardware_concurrency\": %u, \"points\": [",
               name.c_str(), scenario.node_count, spec.duration, seed,
+              sharded_queue ? "true" : "false",
               std::thread::hardware_concurrency());
   for (std::size_t i = 0; i < points.size(); ++i) {
     std::printf("%s{\"threads\": %u, \"seconds\": %.3f, \"speedup\": %.3f}",

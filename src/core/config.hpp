@@ -133,6 +133,17 @@ struct SystemConfig {
   /// thread count WITHIN a mode; the two modes are distinct universes
   /// (see the committed divergence study for the metric deltas).
   double latency_grid_ms = 0.0;
+  /// Sharded event-queue engine (strict mode): per-shard slot-pool
+  /// heaps under a meta-heap time frontier, with quantized deliveries
+  /// routed through per-lane hand-off heaps drained in parallel at
+  /// each grid barrier. Off by default — the single queue stays the
+  /// oracle; results are REQUIRED to be byte-identical either way at
+  /// every thread count (CI diffs fingerprints on-vs-off).
+  bool sharded_queue = false;
+  /// Shard count for the sharded engine (rounded up to a power of
+  /// two). Identity holds for ANY value — the frontier walk restores
+  /// global order — so this is purely a performance knob.
+  unsigned sharded_queue_shards = 8;
 
   /// Convenience: mean inbound rate (the lambda of Section 5.1). The
   /// rate distribution is a truncated exponential on [min, max] with

@@ -119,7 +119,10 @@ std::uint64_t fit_id_space(std::uint64_t configured, std::size_t nodes) {
 Session::Session(const SystemConfig& config, const trace::TraceSnapshot& snapshot)
     : config_(config),
       space_(fit_id_space(config.id_space, snapshot.node_count())),
-      sim_(),
+      // 0 = single-queue oracle; the sharded engine rounds its shard
+      // count up to a power of two itself (so 0 shards still means at
+      // least the 2-shard minimum once the switch is on).
+      sim_(config.sharded_queue ? std::max(1u, config.sharded_queue_shards) : 0),
       network_(sim_, net::LatencyModel::from_trace(snapshot, /*floor_ms=*/5.0,
                                                    config.latency_grid_ms)),
       directory_(space_),
@@ -2021,6 +2024,16 @@ std::shared_ptr<const obs::ObsReport> Session::obs_report() {
     put("engine.peak_queue_depth", sim_.peak_pending());
     put("net.delivery_batches", network_.delivery_batches());
     put("net.batched_deliveries", network_.batched_deliveries());
+    // Sharded-engine frontier diagnostics: all zero on the single
+    // queue, deterministic (thread-count invariant) on the sharded
+    // one — the counter snapshot contract holds either way.
+    if (const sim::ShardedEventQueue* squeue = sim_.sharded_queue()) {
+      put("engine.queue_shards", squeue->shard_count());
+      put("engine.frontier_advances", squeue->frontier_advances());
+      put("engine.frontier_stalled_shards", squeue->frontier_stalled_shards());
+      put("net.frontier_barriers", network_.frontier_barriers());
+      put("net.frontier_stalled_lanes", network_.frontier_stalled_lanes());
+    }
   }
   return report;
 }

@@ -1,0 +1,150 @@
+#include "net/handoff.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace continu::net {
+
+namespace {
+
+std::uint32_t round_up_pow2(unsigned lanes) {
+  if (lanes < 2) lanes = 2;
+  if (lanes > 64) {
+    throw std::invalid_argument("DeliveryLanes: lane count too large");
+  }
+  std::uint32_t n = 2;
+  while (n < lanes) n <<= 1;
+  return n;
+}
+
+}  // namespace
+
+DeliveryLanes::DeliveryLanes(unsigned lanes)
+    : lanes_(round_up_pow2(lanes)),
+      lane_mask_(static_cast<std::uint32_t>(lanes_.size()) - 1),
+      meta_(static_cast<std::uint32_t>(lanes_.size())) {}
+
+std::uint32_t DeliveryLanes::Lane::acquire_slot() {
+  if (free_head != kNoFree) {
+    const std::uint32_t index = free_head;
+    free_head = slot(index).next_free;
+    return index;
+  }
+  if (slot_count > kSlotMask) {
+    throw std::length_error("DeliveryLanes: hand-off slot pool exhausted");
+  }
+  if ((slot_count & (kBlockSize - 1)) == 0) {
+    blocks.push_back(std::make_unique<Slot[]>(kBlockSize));
+  }
+  return slot_count++;
+}
+
+void DeliveryLanes::Lane::release_slot(std::uint32_t index) noexcept {
+  Slot& s = slot(index);
+  s.entry.action.reset();
+  s.next_free = free_head;
+  free_head = index;
+}
+
+void DeliveryLanes::enqueue(std::uint32_t to, bool filtered, SimTime when,
+                            std::uint64_t seq, DeliveryAction action) {
+  const std::uint32_t lane_index = to & lane_mask_;
+  Lane& lane = lanes_[lane_index];
+  const std::uint32_t index = lane.acquire_slot();
+  Slot& s = lane.slot(index);
+  s.entry.to = to;
+  s.entry.filtered = filtered;
+  s.entry.action = std::move(action);
+  const std::uint64_t key = (seq << kSlotBits) | index;
+  lane.heap.push_back(HeapEntry{when, key});
+  std::push_heap(lane.heap.begin(), lane.heap.end(),
+                 [](const HeapEntry& a, const HeapEntry& b) noexcept {
+                   if (a.time != b.time) return a.time > b.time;
+                   return a.key > b.key;
+                 });
+  ++size_;
+  refresh_meta(lane_index);
+}
+
+void DeliveryLanes::refresh_meta(std::uint32_t lane_index) {
+  const Lane& lane = lanes_[lane_index];
+  if (lane.heap.empty()) {
+    meta_.clear(lane_index);
+  } else {
+    meta_.update(lane_index, lane.heap.front().time,
+                 lane.heap.front().key >> kSlotBits);
+  }
+}
+
+bool DeliveryLanes::next_key(SimTime& time, std::uint64_t& seq) const {
+  if (meta_.empty()) return false;
+  const sim::MetaHeap::Top top = meta_.top();
+  time = top.time;
+  seq = top.key;
+  return true;
+}
+
+void DeliveryLanes::collect_due(unsigned lane_index, SimTime time) {
+  Lane& lane = lanes_[lane_index];
+  const auto later = [](const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.key > b.key;
+  };
+  // `time` is the global barrier instant (the meta-heap minimum), so
+  // no lane can hold anything earlier; pops surface this instant's
+  // entries in ascending key = ascending sequence order.
+  while (!lane.heap.empty() && lane.heap.front().time == time) {
+    const HeapEntry top = lane.heap.front();
+    std::pop_heap(lane.heap.begin(), lane.heap.end(), later);
+    lane.heap.pop_back();
+    lane.due.push_back(DueRef{top.key >> kSlotBits,
+                             static_cast<std::uint32_t>(top.key & kSlotMask)});
+  }
+  assert(lane.heap.empty() || lane.heap.front().time > time);
+}
+
+std::size_t DeliveryLanes::merge_due(std::vector<HandoffEntry>& out) {
+  std::size_t active = 0;
+  std::size_t total = 0;
+  for (Lane& lane : lanes_) {
+    if (!lane.due.empty()) {
+      ++active;
+      total += lane.due.size();
+    }
+  }
+  if (active == 0) return 0;
+  out.reserve(out.size() + total);
+  // K-way merge by global sequence over the (already seq-sorted)
+  // per-lane due lists: a linear scan over <= 64 lane heads per item.
+  // The merged order IS the single-queue bucket's entry order —
+  // sequences were assigned at enqueue, in schedule order.
+  std::vector<std::size_t> cursor(lanes_.size(), 0);
+  for (std::size_t produced = 0; produced < total; ++produced) {
+    std::size_t best_lane = lanes_.size();
+    std::uint64_t best_seq = 0;
+    for (std::size_t l = 0; l < lanes_.size(); ++l) {
+      const Lane& lane = lanes_[l];
+      if (cursor[l] >= lane.due.size()) continue;
+      const std::uint64_t seq = lane.due[cursor[l]].seq;
+      if (best_lane == lanes_.size() || seq < best_seq) {
+        best_lane = l;
+        best_seq = seq;
+      }
+    }
+    Lane& lane = lanes_[best_lane];
+    const DueRef ref = lane.due[cursor[best_lane]++];
+    out.push_back(std::move(lane.slot(ref.slot).entry));
+    lane.release_slot(ref.slot);
+  }
+  size_ -= total;
+  for (std::uint32_t l = 0; l < lanes_.size(); ++l) {
+    if (!lanes_[l].due.empty()) {
+      lanes_[l].due.clear();
+      refresh_meta(l);
+    }
+  }
+  return active;
+}
+
+}  // namespace continu::net

@@ -1,0 +1,130 @@
+#pragma once
+// Cross-shard delivery hand-off lanes for the sharded-queue engine.
+//
+// In quantized mode on the single-queue engine, deliveries landing on
+// one grid instant collect in a bucket behind a proxy event. On the
+// sharded engine there are no proxies: every hand-off is ranked by a
+// sequence drawn from the simulator's global stream and parked in a
+// per-lane slot-pool heap (lane = receiver & mask, so a receiver's
+// deliveries never split across lanes and per-pair FIFO holds within
+// a lane by sequence order). A MetaHeap over lane heads exposes the
+// earliest pending (time, seq) — the barrier key the simulator's
+// frontier loop interleaves with ordinary events.
+//
+// At a barrier the drain runs in two phases:
+//   A (forkable) — each lane pops its due entries into a private,
+//     seq-sorted list; lanes touch only their own heap/scratch, so the
+//     pops run on the session executor under the shard_drain phase.
+//   B (serial) — the per-lane lists merge by global sequence, which
+//     reconstructs the EXACT entry order the single-queue engine's
+//     bucket vector would hold (sequences are assigned at enqueue, in
+//     schedule order). The merged batch feeds the unchanged
+//     Network::dispatch_bucket, so everything downstream — receiver
+//     grouping, shard decomposition, join settlement — is the same
+//     code and the same bytes as the oracle engine.
+//
+// The lane heaps reuse the EventQueue pattern: 16-byte (time, key)
+// heap entries over stable slot blocks, key = (seq << 24) | slot.
+// Hand-offs are never cancelled, so there is no generation check.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/delivery.hpp"
+#include "sim/sharded_queue.hpp"
+#include "util/types.hpp"
+
+namespace continu::net {
+
+/// One delivery awaiting its grid instant: receiver, liveness-filter
+/// class, and the handler. (Also the element of the single-queue
+/// engine's buckets — hoisted out of Network so lanes can store it.)
+struct HandoffEntry {
+  std::uint32_t to = 0;
+  bool filtered = true;  ///< wire message (liveness-checked) vs local
+  DeliveryAction action;
+};
+
+class DeliveryLanes {
+ public:
+  /// Lane count rounds up to a power of two in [2, 64].
+  explicit DeliveryLanes(unsigned lanes);
+  DeliveryLanes(const DeliveryLanes&) = delete;
+  DeliveryLanes& operator=(const DeliveryLanes&) = delete;
+
+  [[nodiscard]] unsigned lane_count() const noexcept {
+    return static_cast<unsigned>(lanes_.size());
+  }
+
+  /// Parks a hand-off for receiver `to` at instant `when`, ranked by
+  /// the caller-allocated global sequence. Serial only.
+  void enqueue(std::uint32_t to, bool filtered, SimTime when, std::uint64_t seq,
+               DeliveryAction action);
+
+  /// Earliest pending (time, seq) across all lanes; false when empty.
+  [[nodiscard]] bool next_key(SimTime& time, std::uint64_t& seq) const;
+
+  /// Phase A: pops lane `lane`'s entries due exactly at `time` into its
+  /// private due list. Touches only lane-local state — safe to fork
+  /// one lane per executor shard.
+  void collect_due(unsigned lane, SimTime time);
+
+  /// Phase B (serial): merges every lane's due list by global sequence
+  /// into `out` (appended in order), releases the slots, and refreshes
+  /// the lane frontiers. Returns the number of lanes that contributed
+  /// at least one entry (the barrier's active-lane count).
+  std::size_t merge_due(std::vector<HandoffEntry>& out);
+
+  /// Hand-offs currently parked.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  static constexpr unsigned kSlotBits = sim::EventQueue::kSlotBits;
+  static constexpr std::uint32_t kSlotMask = sim::EventQueue::kSlotMask;
+  static constexpr std::uint32_t kNoFree = 0xFFFFFFFFu;
+  static constexpr std::size_t kBlockShift = 7;
+  static constexpr std::size_t kBlockSize = std::size_t{1} << kBlockShift;
+
+  /// 16 bytes, min-heap on (time, key); key order at equal times is
+  /// sequence order because the sequence occupies the high bits.
+  struct HeapEntry {
+    SimTime time;
+    std::uint64_t key;  ///< (seq << kSlotBits) | slot
+  };
+
+  struct Slot {
+    HandoffEntry entry;
+    std::uint32_t next_free = kNoFree;
+  };
+
+  /// Due reference produced by phase A: enough to merge and to find
+  /// the record without touching another lane's state.
+  struct DueRef {
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  struct Lane {
+    std::vector<std::unique_ptr<Slot[]>> blocks;
+    std::vector<HeapEntry> heap;
+    std::uint32_t free_head = kNoFree;
+    std::uint32_t slot_count = 0;
+    std::vector<DueRef> due;  ///< phase-A scratch, consumed by merge_due
+
+    [[nodiscard]] Slot& slot(std::uint32_t index) noexcept {
+      return blocks[index >> kBlockShift][index & (kBlockSize - 1)];
+    }
+    std::uint32_t acquire_slot();
+    void release_slot(std::uint32_t index) noexcept;
+  };
+
+  std::vector<Lane> lanes_;
+  std::uint32_t lane_mask_ = 0;
+  sim::MetaHeap meta_;
+  std::size_t size_ = 0;
+
+  void refresh_meta(std::uint32_t lane);
+};
+
+}  // namespace continu::net

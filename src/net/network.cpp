@@ -12,7 +12,22 @@ namespace continu::net {
 Network::Network(sim::Simulator& sim, LatencyModel latency)
     : sim_(sim),
       latency_(std::move(latency)),
-      grid_s_(latency_.grid_ms() / 1000.0) {}
+      grid_s_(latency_.grid_ms() / 1000.0) {
+  // Quantized mode on the sharded engine: hand-offs park in per-lane
+  // heaps instead of proxy-evented buckets, and the simulator's
+  // frontier loop calls back at each barrier instant. One lane per
+  // queue shard keeps the drain fork aligned with the engine's shard
+  // count.
+  if (grid_s_ > 0.0 && sim_.sharded()) {
+    lanes_ = std::make_unique<DeliveryLanes>(sim_.queue_shards());
+    sim::Simulator::FrontierHook hook;
+    hook.next_key = [this](SimTime& time, std::uint64_t& seq) {
+      return lanes_->next_key(time, seq);
+    };
+    hook.dispatch = [this](SimTime time) { fire_frontier(time); };
+    sim_.set_frontier_hook(std::move(hook));
+  }
+}
 
 void Network::charge_only(MessageType type, Bits bits) {
   traffic_.charge(traffic_class_of(type), bits);
@@ -70,6 +85,15 @@ void Network::enqueue_sharded(std::uint32_t to, SimTime when,
   // to now, which is fine); entries targeting the current instant land
   // in a bucket whose proxy fires later within this instant.
   if (when < sim_.now()) when = sim_.now();
+  if (lanes_ != nullptr) {
+    // Sharded engine: rank the hand-off with a sequence from the
+    // global stream. The FIRST hand-off targeting an instant holds
+    // the same rank the single-queue engine's bucket proxy would
+    // (both are assigned at first enqueue), so the barrier dispatch
+    // lands at the identical point of the global event order.
+    lanes_->enqueue(to, filtered, when, sim_.allocate_seq(), std::move(action));
+    return;
+  }
   auto [it, inserted] = buckets_.try_emplace(when);
   if (inserted) {
     if (!spare_entry_vecs_.empty()) {
@@ -93,6 +117,39 @@ void Network::fire_bucket(SimTime time) {
   dispatch_bucket(entries);
   entries.clear();
   spare_entry_vecs_.push_back(std::move(entries));
+}
+
+void Network::fire_frontier(SimTime time) {
+  ++frontier_barriers_;
+  const unsigned nlanes = lanes_->lane_count();
+  // Phase A: per-lane pops of this instant's hand-offs. Each lane
+  // touches only its own heap and due list, so the pops fork across
+  // the session executor (shard boundaries are one lane per shard —
+  // thread-count independent by construction). The inline fallback
+  // walks the identical decomposition.
+  if (obs_profiler_ != nullptr) {
+    obs_profiler_->begin_fork_phase(obs::Phase::kShardDrain, nlanes);
+  }
+  const auto body = [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t lane = begin; lane < end; ++lane) {
+      lanes_->collect_due(static_cast<unsigned>(lane), time);
+    }
+  };
+  if (exec_ != nullptr) {
+    exec_->for_shards(nlanes, /*grain=*/1, body);
+  } else {
+    for (unsigned lane = 0; lane < nlanes; ++lane) {
+      lanes_->collect_due(lane, time);
+    }
+  }
+  // Phase B: serial merge by global sequence reconstructs the exact
+  // entry order the single-queue engine's bucket vector would hold;
+  // the unchanged dispatch path does the rest, byte for byte.
+  frontier_entries_.clear();
+  const std::size_t active = lanes_->merge_due(frontier_entries_);
+  frontier_stalled_lanes_ += nlanes - active;
+  dispatch_bucket(frontier_entries_);
+  frontier_entries_.clear();
 }
 
 void Network::dispatch_bucket(std::vector<ShardedEntry>& entries) {

@@ -29,11 +29,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "net/delivery.hpp"
+#include "net/handoff.hpp"
 #include "net/latency_model.hpp"
 #include "net/message.hpp"
 #include "net/traffic.hpp"
@@ -232,6 +234,19 @@ class Network {
   [[nodiscard]] std::uint64_t batched_deliveries() const noexcept {
     return batched_deliveries_;
   }
+  /// True when hand-offs route through sharded-engine delivery lanes
+  /// (quantized mode on a sharded simulator).
+  [[nodiscard]] bool laned() const noexcept { return lanes_ != nullptr; }
+  /// Frontier barriers drained through the lanes (0 off the sharded
+  /// engine; equals delivery_batches() on it).
+  [[nodiscard]] std::uint64_t frontier_barriers() const noexcept {
+    return frontier_barriers_;
+  }
+  /// Cumulative lanes that held NO due hand-off at a barrier — the
+  /// shard_drain imbalance signal, deterministic at every thread count.
+  [[nodiscard]] std::uint64_t frontier_stalled_lanes() const noexcept {
+    return frontier_stalled_lanes_;
+  }
 
  private:
   friend class DeliveryContext;
@@ -279,12 +294,9 @@ class Network {
     }
   };
 
-  /// One delivery awaiting its grid bucket.
-  struct ShardedEntry {
-    std::uint32_t to = 0;
-    bool filtered = true;  ///< wire message (liveness-checked) vs local
-    DeliveryAction action;
-  };
+  /// One delivery awaiting its grid bucket (hoisted to handoff.hpp so
+  /// the sharded engine's lanes can park the same records).
+  using ShardedEntry = HandoffEntry;
   struct Bucket {
     std::vector<ShardedEntry> entries;
   };
@@ -307,11 +319,17 @@ class Network {
   bool apply_faults(std::size_t from, std::size_t to, SimTime& delay);
 
   /// Appends a delivery to its grid bucket, creating the bucket (and
-  /// its proxy event) on first use.
+  /// its proxy event) on first use. On the sharded engine this parks
+  /// the delivery in its hand-off lane instead, ranked by a sequence
+  /// from the simulator's global stream.
   void enqueue_sharded(std::uint32_t to, SimTime when, DeliveryAction action,
                        bool filtered);
   /// Proxy-event body: detaches the bucket at `time` and dispatches it.
   void fire_bucket(SimTime time);
+  /// Frontier-hook body (sharded engine): drains every lane's hand-offs
+  /// at `time` — per-lane pops forked under the shard_drain phase, then
+  /// a serial merge by sequence — and dispatches the merged batch.
+  void fire_frontier(SimTime time);
   /// Groups by receiver, forks across shards, settles the join.
   void dispatch_bucket(std::vector<ShardedEntry>& entries);
 
@@ -355,6 +373,13 @@ class Network {
   std::vector<DeliveryShardScratch> shard_scratch_;
   std::uint64_t delivery_batches_ = 0;
   std::uint64_t batched_deliveries_ = 0;
+
+  // --- sharded-engine hand-off lanes (null on the single queue) ----------
+  std::unique_ptr<DeliveryLanes> lanes_;
+  /// Merged-batch scratch, reused across barriers.
+  std::vector<ShardedEntry> frontier_entries_;
+  std::uint64_t frontier_barriers_ = 0;
+  std::uint64_t frontier_stalled_lanes_ = 0;
 };
 
 /// Immediate-mode forward: defined here (not in delivery.hpp) because

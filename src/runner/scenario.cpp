@@ -406,4 +406,26 @@ const std::vector<ScenarioFamilyGroup>& scenario_family_groups() {
   return groups;
 }
 
+std::vector<Scenario> expand_scenario_selector(const std::string& selector) {
+  std::vector<Scenario> expanded;
+  if (selector.empty()) return expanded;
+  // Exact names win outright — a scenario literally named like a
+  // prefix can always be addressed unambiguously.
+  if (auto exact = find_scenario(selector)) {
+    expanded.push_back(std::move(*exact));
+    return expanded;
+  }
+  const auto is_prefix_of = [&selector](const std::string& name) {
+    return name.size() > selector.size() &&
+           name.compare(0, selector.size(), selector) == 0;
+  };
+  for (const auto& s : scenario_matrix()) {
+    if (is_prefix_of(s.name)) expanded.push_back(s);
+  }
+  for (const auto& s : scenario_families()) {
+    if (is_prefix_of(s.name)) expanded.push_back(s);
+  }
+  return expanded;
+}
+
 }  // namespace continu::runner

@@ -130,4 +130,13 @@ struct ScenarioFamilyGroup {
 /// structure `continu_sim --list-scenarios` renders.
 [[nodiscard]] const std::vector<ScenarioFamilyGroup>& scenario_family_groups();
 
+/// Resolves one --only style selector: an exact scenario name yields
+/// that scenario alone; otherwise the selector is treated as a name
+/// PREFIX ("q1_", "fig7", "f5_q1_...") and expands to every matrix and
+/// family scenario it prefixes, registry order. Empty result = the
+/// selector matched nothing (callers should treat that as an unknown
+/// scenario, never as a vacuously-empty sweep).
+[[nodiscard]] std::vector<Scenario> expand_scenario_selector(
+    const std::string& selector);
+
 }  // namespace continu::runner

@@ -34,11 +34,17 @@ void EventQueue::release_slot(std::uint32_t index) noexcept {
 }
 
 EventId EventQueue::push(SimTime time, EventAction action) {
+  return push_with_seq(next_seq_, time, std::move(action));
+}
+
+EventId EventQueue::push_with_seq(std::uint64_t seq, SimTime time,
+                                  EventAction action) {
   if (!action) {
     throw std::invalid_argument("EventQueue: empty action");
   }
   const std::uint32_t index = acquire_slot();
-  const EventId id = (next_seq_++ << kSlotBits) | index;
+  if (seq >= next_seq_) next_seq_ = seq + 1;
+  const EventId id = (seq << kSlotBits) | index;
   Slot& s = slot(index);
   // Same publish-last ordering as emplace(): the slot id is set only
   // once the entry and action are in place, so a heap_ allocation
@@ -165,6 +171,14 @@ SimTime EventQueue::next_time() const {
     throw std::logic_error("EventQueue::next_time on empty queue");
   }
   return heap_.front().time;
+}
+
+bool EventQueue::peek(SimTime& time, EventId& id) const {
+  drop_dead_top();
+  if (heap_.empty()) return false;
+  time = heap_.front().time;
+  id = heap_.front().id;
+  return true;
 }
 
 }  // namespace continu::sim

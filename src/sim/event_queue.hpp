@@ -46,15 +46,30 @@ class EventQueue {
   /// action must be non-empty.
   EventId push(SimTime time, EventAction action);
 
+  /// push() with a caller-supplied sequence number instead of the
+  /// queue's own counter — the per-shard member queues of a
+  /// ShardedEventQueue share ONE global sequence stream so cross-shard
+  /// tie-breaks match the single-queue engine. Sequences must be
+  /// unique per queue; the internal counter is bumped past `seq` so
+  /// mixing with plain push()/emplace() stays collision-free.
+  EventId push_with_seq(std::uint64_t seq, SimTime time, EventAction action);
+
   /// Hot scheduling path: constructs the callable directly in its pool
   /// slot (zero moves, zero allocations for inline-sized captures).
   /// The slot line is prefetched while the heap insertion runs.
   template <typename F>
   EventId emplace(SimTime time, F&& f) {
+    return emplace_with_seq(next_seq_++, time, std::forward<F>(f));
+  }
+
+  /// emplace() with a caller-supplied sequence (see push_with_seq).
+  template <typename F>
+  EventId emplace_with_seq(std::uint64_t seq, SimTime time, F&& f) {
     const std::uint32_t index = free_head_ != kNoFree ? free_head_ : grow_pool();
     Slot& s = slot(index);  // blocks are stable; heap growth can't move it
     __builtin_prefetch(&s, 1);
-    const EventId id = (next_seq_++ << kSlotBits) | index;
+    if (seq >= next_seq_) next_seq_ = seq + 1;
+    const EventId id = (seq << kSlotBits) | index;
     heap_.push_back(HeapEntry{time, id});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
     // Construct the action BEFORE publishing the slot: if the capture's
@@ -129,6 +144,12 @@ class EventQueue {
 
   /// Time of the earliest live event. Requires !empty().
   [[nodiscard]] SimTime next_time() const;
+
+  /// Head (time, id) of the earliest live event without removing it;
+  /// returns false when the queue is empty. Purges lazily-cancelled
+  /// tops, so the reported head is always live — this is how a
+  /// ShardedEventQueue keeps its meta-heap exact.
+  bool peek(SimTime& time, EventId& id) const;
 
  private:
   /// 16 bytes; the heap orders by (time, id) and id order among live

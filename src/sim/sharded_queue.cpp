@@ -1,0 +1,113 @@
+#include "sim/sharded_queue.hpp"
+
+#include <stdexcept>
+
+namespace continu::sim {
+
+namespace {
+
+std::uint32_t round_up_pow2(unsigned shards) {
+  if (shards < 2) shards = 2;
+  if (shards > ShardedEventQueue::kMaxShards) {
+    throw std::invalid_argument("ShardedEventQueue: shard count too large");
+  }
+  std::uint32_t n = 2;
+  while (n < shards) n <<= 1;
+  return n;
+}
+
+}  // namespace
+
+ShardedEventQueue::ShardedEventQueue(unsigned shards)
+    : shards_(round_up_pow2(shards)),
+      shard_mask_(static_cast<std::uint32_t>(shards_.size()) - 1),
+      meta_(static_cast<std::uint32_t>(shards_.size())) {}
+
+EventId ShardedEventQueue::push(SimTime time, EventAction action) {
+  const std::uint64_t seq = next_seq_++;
+  const std::uint32_t shard = shard_of_seq(seq);
+  const EventId id = shards_[shard].push_with_seq(seq, time, std::move(action));
+  note_push(shard);
+  return id;
+}
+
+void ShardedEventQueue::push_all(std::vector<EventQueue::Deferred>& batch) {
+  for (EventQueue::Deferred& deferred : batch) {
+    (void)push(deferred.time, std::move(deferred.action));
+  }
+  batch.clear();
+}
+
+void ShardedEventQueue::note_push(std::uint32_t shard) {
+  ++live_;
+  if (live_ > peak_live_) peak_live_ = live_;
+  refresh_meta(shard);
+}
+
+void ShardedEventQueue::refresh_meta(std::uint32_t shard) {
+  SimTime time;
+  EventId id;
+  if (shards_[shard].peek(time, id)) {
+    meta_.update(shard, time, id >> EventQueue::kSlotBits);
+  } else {
+    meta_.clear(shard);
+  }
+}
+
+void ShardedEventQueue::note_frontier(SimTime time) {
+  if (time <= frontier_time_) return;
+  frontier_time_ = time;
+  ++frontier_advances_;
+  // Shards with no event at the new frontier instant would idle in a
+  // parallel shard drain — count them (absent shards included).
+  std::uint64_t active = 0;
+  meta_.for_each([&](std::uint32_t, SimTime t, std::uint64_t) {
+    if (t == time) ++active;
+  });
+  frontier_stalled_shards_ += shards_.size() - active;
+}
+
+bool ShardedEventQueue::acquire_due(SimTime horizon, DueEvent& out) {
+  if (meta_.empty()) return false;
+  const MetaHeap::Top top = meta_.top();
+  if (top.time > horizon) return false;
+  note_frontier(top.time);
+  EventQueue::DueEvent inner;
+  // The meta entry is kept exact, so the shard's head is exactly
+  // (top.time, top.key) and must be acquirable at that horizon.
+  const bool ok = shards_[top.slot].acquire_due(top.time, inner);
+  assert(ok);
+  (void)ok;
+  --live_;
+  refresh_meta(top.slot);
+  out.time = inner.time;
+  out.slot_index = inner.slot_index;
+  out.shard = top.slot;
+  return true;
+}
+
+void ShardedEventQueue::execute_and_release(const DueEvent& due) {
+  EventQueue::DueEvent inner;
+  inner.time = due.time;
+  inner.slot_index = due.slot_index;
+  shards_[due.shard].execute_and_release(inner);
+}
+
+bool ShardedEventQueue::cancel(EventId id) noexcept {
+  if (id == kInvalidEvent) return false;
+  const std::uint32_t shard = shard_of_id(id);
+  if (!shards_[shard].cancel(id)) return false;
+  --live_;
+  refresh_meta(shard);
+  return true;
+}
+
+bool ShardedEventQueue::peek(SimTime& time, std::uint64_t& seq) const {
+  if (meta_.empty()) return false;
+  const MetaHeap::Top top = meta_.top();
+  time = top.time;
+  seq = top.key;
+  return true;
+}
+
+}  // namespace continu::sim

@@ -1,0 +1,255 @@
+#pragma once
+// ShardedEventQueue — N per-shard slot-pool event heaps coordinated by
+// a meta-heap over per-shard frontier keys (the Graphite-style
+// partitioned event queue, strict mode).
+//
+// Every event carries a sequence number drawn from ONE global counter;
+// its shard is `seq & (shards - 1)`, so placement is a pure function
+// of schedule order (never of thread count) and the shard is
+// recoverable from the EventId in O(1) for cancel. The meta-heap
+// orders shards by their head (time, seq) key, so the global frontier
+// — the next event in (time, FIFO-sequence) order across all shards —
+// is one heap-top read. Draining through the frontier therefore
+// executes events in EXACTLY the order a single EventQueue would,
+// which is what keeps fingerprints byte-identical to the single-queue
+// oracle.
+//
+// Strict mode: the serial frontier walk is the ordering contract; the
+// parallel payoff in this PR is at delivery barriers, where the
+// network's per-lane hand-off heaps (net/handoff.hpp, built on the
+// same MetaHeap) pop concurrently between frontier instants. Lax mode
+// (bounded-skew shard drains that relax the global order) is a
+// follow-on and is NOT implemented here.
+//
+// The meta-heap is kept EXACT at all times: push, cancel and acquire
+// each refresh the touched shard's entry, so acquire_due never meets a
+// stale head and cancel-of-a-frontier-event advances the frontier
+// immediately.
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace continu::sim {
+
+/// Tiny binary min-heap over at most `slots` (time, key) entries, one
+/// per shard, with a position index for O(log n) in-place update. Key
+/// ties cannot happen (keys are globally unique sequences); ordering is
+/// (time, key) ascending — identical to EventQueue's heap order.
+class MetaHeap {
+ public:
+  struct Top {
+    SimTime time = 0.0;
+    std::uint64_t key = 0;
+    std::uint32_t slot = 0;
+  };
+
+  explicit MetaHeap(std::uint32_t slots) : pos_(slots, kAbsent) {
+    heap_.reserve(slots);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Earliest (time, key) entry. Requires !empty().
+  [[nodiscard]] Top top() const noexcept {
+    const Entry& e = heap_.front();
+    return Top{e.time, e.key, e.slot};
+  }
+
+  /// Inserts or repositions `slot`'s entry at (time, key).
+  void update(std::uint32_t slot, SimTime time, std::uint64_t key) {
+    std::uint32_t i = pos_[slot];
+    if (i == kAbsent) {
+      i = static_cast<std::uint32_t>(heap_.size());
+      heap_.push_back(Entry{time, key, slot});
+      pos_[slot] = i;
+      sift_up(i);
+      return;
+    }
+    Entry& e = heap_[i];
+    if (e.time == time && e.key == key) return;
+    const bool earlier = time < e.time || (time == e.time && key < e.key);
+    e.time = time;
+    e.key = key;
+    if (earlier) {
+      sift_up(i);
+    } else {
+      sift_down(i);
+    }
+  }
+
+  /// Removes `slot`'s entry (the shard went empty). No-op when absent.
+  void clear(std::uint32_t slot) {
+    const std::uint32_t i = pos_[slot];
+    if (i == kAbsent) return;
+    pos_[slot] = kAbsent;
+    const std::uint32_t last = static_cast<std::uint32_t>(heap_.size()) - 1;
+    if (i != last) {
+      heap_[i] = heap_[last];
+      pos_[heap_[i].slot] = i;
+      heap_.pop_back();
+      // The moved entry may need to travel either direction.
+      sift_up(i);
+      sift_down(i);
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+  /// Visits every present entry (arbitrary order): fn(slot, time, key).
+  /// Used for frontier-stall accounting — at most one entry per shard,
+  /// so a full scan is a handful of iterations.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Entry& e : heap_) fn(e.slot, e.time, e.key);
+  }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t key;
+    std::uint32_t slot;
+  };
+  static constexpr std::uint32_t kAbsent = 0xFFFFFFFFu;
+
+  [[nodiscard]] static bool before(const Entry& a, const Entry& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.key < b.key;
+  }
+
+  void sift_up(std::uint32_t i) {
+    while (i > 0) {
+      const std::uint32_t parent = (i - 1) / 2;
+      if (!before(heap_[i], heap_[parent])) break;
+      swap_entries(i, parent);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::uint32_t i) {
+    const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+    for (;;) {
+      std::uint32_t best = i;
+      const std::uint32_t left = 2 * i + 1;
+      const std::uint32_t right = 2 * i + 2;
+      if (left < n && before(heap_[left], heap_[best])) best = left;
+      if (right < n && before(heap_[right], heap_[best])) best = right;
+      if (best == i) return;
+      swap_entries(i, best);
+      i = best;
+    }
+  }
+
+  void swap_entries(std::uint32_t a, std::uint32_t b) noexcept {
+    std::swap(heap_[a], heap_[b]);
+    pos_[heap_[a].slot] = a;
+    pos_[heap_[b].slot] = b;
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<std::uint32_t> pos_;  ///< slot -> heap index, kAbsent if out
+};
+
+class ShardedEventQueue {
+ public:
+  /// Rounds `shards` up to a power of two in [2, kMaxShards] (the shard
+  /// of a sequence is `seq & mask`, so the count must be a power of
+  /// two; the mask also has to survive the 40-bit sequence field).
+  static constexpr unsigned kMaxShards = 64;
+
+  explicit ShardedEventQueue(unsigned shards);
+  ShardedEventQueue(const ShardedEventQueue&) = delete;
+  ShardedEventQueue& operator=(const ShardedEventQueue&) = delete;
+
+  [[nodiscard]] unsigned shard_count() const noexcept {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+  /// Draws one sequence number from the global stream WITHOUT
+  /// scheduling. The network's delivery hand-off lanes pull from here
+  /// so a delivery's tie-break rank against ordinary events is
+  /// assigned at the same chronological point as in the single-queue
+  /// engine (where the bucket proxy event consumed it).
+  [[nodiscard]] std::uint64_t allocate_seq() noexcept { return next_seq_++; }
+
+  template <typename F>
+  EventId emplace(SimTime time, F&& f) {
+    const std::uint64_t seq = next_seq_++;
+    const std::uint32_t shard = shard_of_seq(seq);
+    const EventId id = shards_[shard].emplace_with_seq(seq, time, std::forward<F>(f));
+    note_push(shard);
+    return id;
+  }
+
+  EventId push(SimTime time, EventAction action);
+
+  /// Pushes every deferred emission in order and clears the batch —
+  /// same contract as EventQueue::push_all, with sequences drawn from
+  /// the shared global stream.
+  void push_all(std::vector<EventQueue::Deferred>& batch);
+
+  /// EventQueue::DueEvent plus the shard the event came from.
+  struct DueEvent {
+    SimTime time = 0.0;
+    std::uint32_t slot_index = 0;
+    std::uint32_t shard = 0;
+  };
+
+  /// Acquires the global-frontier event (earliest (time, seq) across
+  /// all shards) iff its time <= horizon. Pair with exactly one
+  /// execute_and_release, like EventQueue.
+  bool acquire_due(SimTime horizon, DueEvent& out);
+  void execute_and_release(const DueEvent& due);
+
+  bool cancel(EventId id) noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+  [[nodiscard]] std::size_t peak_size() const noexcept { return peak_live_; }
+
+  /// Frontier (time, seq) without removal; false when empty.
+  bool peek(SimTime& time, std::uint64_t& seq) const;
+
+  // --- frontier accounting (deterministic, mirrors into obs) -------------
+  /// Times the global frontier moved to a strictly later instant.
+  [[nodiscard]] std::uint64_t frontier_advances() const noexcept {
+    return frontier_advances_;
+  }
+  /// Cumulative shards with NO event at the frontier instant, sampled
+  /// at each advance — the strict-mode imbalance signal (stalled
+  /// shards would idle in a lax parallel drain).
+  [[nodiscard]] std::uint64_t frontier_stalled_shards() const noexcept {
+    return frontier_stalled_shards_;
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t shard_of_seq(std::uint64_t seq) const noexcept {
+    return static_cast<std::uint32_t>(seq) & shard_mask_;
+  }
+  [[nodiscard]] std::uint32_t shard_of_id(EventId id) const noexcept {
+    return shard_of_seq(id >> EventQueue::kSlotBits);
+  }
+
+  void note_push(std::uint32_t shard);
+  /// Re-derives `shard`'s meta entry from its queue head (or clears it).
+  void refresh_meta(std::uint32_t shard);
+  void note_frontier(SimTime time);
+
+  std::vector<EventQueue> shards_;
+  std::uint32_t shard_mask_ = 0;
+  MetaHeap meta_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+  std::size_t peak_live_ = 0;
+
+  SimTime frontier_time_ = -std::numeric_limits<SimTime>::infinity();
+  std::uint64_t frontier_advances_ = 0;
+  std::uint64_t frontier_stalled_shards_ = 0;
+};
+
+}  // namespace continu::sim

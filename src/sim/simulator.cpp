@@ -11,6 +11,7 @@ EventId Simulator::schedule_in(SimTime delay, EventAction action) {
     throw std::invalid_argument("Simulator: empty action");
   }
   if (delay < 0.0) delay = 0.0;
+  if (squeue_) return squeue_->push(now_ + delay, std::move(action));
   return queue_.push(now_ + delay, std::move(action));
 }
 
@@ -19,6 +20,7 @@ EventId Simulator::schedule_at(SimTime when, EventAction action) {
     throw std::invalid_argument("Simulator: empty action");
   }
   if (when < now_) when = now_;
+  if (squeue_) return squeue_->push(when, std::move(action));
   return queue_.push(when, std::move(action));
 }
 
@@ -26,23 +28,70 @@ void Simulator::schedule_deferred(std::vector<EventQueue::Deferred>& batch) {
   for (EventQueue::Deferred& deferred : batch) {
     if (deferred.time < now_) deferred.time = now_;
   }
-  queue_.push_all(batch);
+  if (squeue_) {
+    squeue_->push_all(batch);
+  } else {
+    queue_.push_all(batch);
+  }
+}
+
+std::size_t Simulator::drain_sharded(SimTime horizon) {
+  std::size_t ran = 0;
+  for (;;) {
+    SimTime qt = 0.0;
+    std::uint64_t qseq = 0;
+    SimTime dt = 0.0;
+    std::uint64_t dseq = 0;
+    const bool have_event = squeue_->peek(qt, qseq);
+    const bool have_barrier = frontier_.next_key && frontier_.next_key(dt, dseq);
+    if (!have_event && !have_barrier) break;
+    // Global (time, seq) order across both sources. A barrier's key is
+    // the sequence of its FIRST pending hand-off — the same rank the
+    // single-queue engine's bucket proxy holds, because both are
+    // assigned at the first enqueue targeting that instant.
+    const bool barrier_first =
+        have_barrier &&
+        (!have_event || dt < qt || (dt == qt && dseq < qseq));
+    if (barrier_first) {
+      if (dt > horizon) break;
+      now_ = dt;
+      ++executed_;
+      ++ran;
+      frontier_.dispatch(dt);
+    } else {
+      if (qt > horizon) break;
+      ShardedEventQueue::DueEvent due;
+      if (!squeue_->acquire_due(horizon, due)) break;
+      now_ = due.time;
+      ++executed_;
+      ++ran;
+      squeue_->execute_and_release(due);
+    }
+  }
+  return ran;
 }
 
 std::size_t Simulator::run_until(SimTime horizon) {
   std::size_t ran = 0;
-  EventQueue::DueEvent due;
-  while (queue_.acquire_due(horizon, due)) {
-    now_ = due.time;
-    ++executed_;
-    ++ran;
-    queue_.execute_and_release(due);
+  if (squeue_) {
+    ran = drain_sharded(horizon);
+  } else {
+    EventQueue::DueEvent due;
+    while (queue_.acquire_due(horizon, due)) {
+      now_ = due.time;
+      ++executed_;
+      ++ran;
+      queue_.execute_and_release(due);
+    }
   }
   if (now_ < horizon) now_ = horizon;
   return ran;
 }
 
 std::size_t Simulator::run_all() {
+  if (squeue_) {
+    return drain_sharded(std::numeric_limits<SimTime>::infinity());
+  }
   std::size_t ran = 0;
   EventQueue::DueEvent due;
   while (queue_.acquire_due(std::numeric_limits<SimTime>::infinity(), due)) {
@@ -55,6 +104,31 @@ std::size_t Simulator::run_all() {
 }
 
 bool Simulator::step() {
+  if (squeue_) {
+    // One iteration of the sharded drain: the barrier-vs-event pick
+    // mirrors drain_sharded so single-stepping preserves global order.
+    SimTime qt = 0.0;
+    std::uint64_t qseq = 0;
+    SimTime dt = 0.0;
+    std::uint64_t dseq = 0;
+    const bool have_event = squeue_->peek(qt, qseq);
+    const bool have_barrier = frontier_.next_key && frontier_.next_key(dt, dseq);
+    if (!have_event && !have_barrier) return false;
+    if (have_barrier && (!have_event || dt < qt || (dt == qt && dseq < qseq))) {
+      now_ = dt;
+      ++executed_;
+      frontier_.dispatch(dt);
+      return true;
+    }
+    ShardedEventQueue::DueEvent due;
+    if (!squeue_->acquire_due(std::numeric_limits<SimTime>::infinity(), due)) {
+      return false;
+    }
+    now_ = due.time;
+    ++executed_;
+    squeue_->execute_and_release(due);
+    return true;
+  }
   if (queue_.empty()) return false;
   Event e = queue_.pop();
   now_ = e.time;

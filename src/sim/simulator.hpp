@@ -9,13 +9,28 @@
 // Scheduling is allocation-free for ordinary captures: actions are
 // EventActions (small-buffer optimized) stored directly in the queue's
 // slot pool, and cancel() is an O(1) slot write.
+//
+// Two queue engines, chosen at construction:
+//
+//   single (default) — one EventQueue, the oracle every other engine
+//   is measured against.
+//
+//   sharded (queue_shards > 0) — a ShardedEventQueue of per-shard
+//   heaps under a meta-heap frontier, plus an optional frontier hook
+//   through which the network's quantized delivery lanes interleave
+//   barrier dispatches with ordinary events in global (time, seq)
+//   order. Execution order — and therefore every fingerprint — is
+//   byte-identical to the single engine by construction.
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <type_traits>
 #include <utility>
 
 #include "sim/event_queue.hpp"
+#include "sim/sharded_queue.hpp"
 #include "util/types.hpp"
 
 namespace continu::sim {
@@ -23,11 +38,64 @@ namespace continu::sim {
 class Simulator {
  public:
   Simulator() = default;
+  /// queue_shards > 0 selects the sharded engine with that many
+  /// per-shard heaps (rounded up to a power of two); 0 is the single
+  /// queue.
+  explicit Simulator(unsigned queue_shards) {
+    if (queue_shards > 0) {
+      squeue_ = std::make_unique<ShardedEventQueue>(queue_shards);
+    }
+  }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current virtual time in seconds.
   [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// True when running on the sharded queue engine.
+  [[nodiscard]] bool sharded() const noexcept { return squeue_ != nullptr; }
+
+  /// Shard count of the sharded engine (0 on the single queue).
+  [[nodiscard]] unsigned queue_shards() const noexcept {
+    return squeue_ ? squeue_->shard_count() : 0;
+  }
+
+  /// The sharded queue itself, for frontier diagnostics (null on the
+  /// single engine).
+  [[nodiscard]] const ShardedEventQueue* sharded_queue() const noexcept {
+    return squeue_.get();
+  }
+
+  /// Draws a sequence number from the sharded engine's global stream
+  /// (delivery lanes rank their hand-offs with these). Requires
+  /// sharded().
+  [[nodiscard]] std::uint64_t allocate_seq() {
+    if (!squeue_) {
+      throw std::logic_error("Simulator::allocate_seq: single-queue engine");
+    }
+    return squeue_->allocate_seq();
+  }
+
+  /// External event source draining at frontier barriers (the
+  /// network's quantized delivery lanes). next_key reports the
+  /// earliest pending (time, seq) hand-off; dispatch drains EVERY
+  /// hand-off at that instant. The run loop interleaves dispatches
+  /// with ordinary events in global (time, seq) order, which is
+  /// exactly where the single-queue engine's bucket proxy event would
+  /// have fired.
+  struct FrontierHook {
+    std::function<bool(SimTime& time, std::uint64_t& seq)> next_key;
+    std::function<void(SimTime time)> dispatch;
+  };
+
+  /// Installs the frontier hook (sharded engine only; the single
+  /// engine schedules proxy events instead and never calls this).
+  void set_frontier_hook(FrontierHook hook) {
+    if (!squeue_) {
+      throw std::logic_error("Simulator::set_frontier_hook: single-queue engine");
+    }
+    frontier_ = std::move(hook);
+  }
 
   /// Schedules `action` to run at now() + delay (delay clamped to >= 0).
   /// Returns a handle usable with cancel(). Accepts any callable;
@@ -38,6 +106,7 @@ class Simulator {
   EventId schedule_in(SimTime delay, F&& f) {
     validate_callable(f);
     if (delay < 0.0) delay = 0.0;
+    if (squeue_) return squeue_->emplace(now_ + delay, std::forward<F>(f));
     return queue_.emplace(now_ + delay, std::forward<F>(f));
   }
 
@@ -47,6 +116,7 @@ class Simulator {
   EventId schedule_at(SimTime when, F&& f) {
     validate_callable(f);
     if (when < now_) when = now_;
+    if (squeue_) return squeue_->emplace(when, std::forward<F>(f));
     return queue_.emplace(when, std::forward<F>(f));
   }
 
@@ -62,7 +132,9 @@ class Simulator {
   void schedule_deferred(std::vector<EventQueue::Deferred>& batch);
 
   /// Cancels a pending event; returns true iff it was still pending.
-  bool cancel(EventId id) noexcept { return queue_.cancel(id); }
+  bool cancel(EventId id) noexcept {
+    return squeue_ ? squeue_->cancel(id) : queue_.cancel(id);
+  }
 
   /// Runs events until the queue drains or the clock passes `horizon`.
   /// Events at exactly `horizon` still run. Returns events executed.
@@ -75,11 +147,13 @@ class Simulator {
   bool step();
 
   /// Live events still pending.
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return squeue_ ? squeue_->size() : queue_.size();
+  }
 
   /// High-water mark of pending events since construction.
   [[nodiscard]] std::size_t peak_pending() const noexcept {
-    return queue_.peak_size();
+    return squeue_ ? squeue_->peak_size() : queue_.peak_size();
   }
 
   /// Total events executed since construction.
@@ -95,7 +169,13 @@ class Simulator {
     }
   }
 
+  /// Sharded-engine drain: interleaves ordinary events and frontier
+  /// dispatches in global (time, seq) order up to `horizon`.
+  std::size_t drain_sharded(SimTime horizon);
+
   EventQueue queue_;
+  std::unique_ptr<ShardedEventQueue> squeue_;
+  FrontierHook frontier_;
   SimTime now_ = 0.0;
   std::uint64_t executed_ = 0;
 };

@@ -251,6 +251,36 @@ TEST(ScenarioMatrix, ConfigReflectsScenario) {
   EXPECT_FALSE(cool.make_config(1).churn_enabled);
 }
 
+TEST(ScenarioMatrix, SelectorExpandsExactNamesAndFamilyPrefixes) {
+  // Exact names resolve to exactly that scenario.
+  const auto exact = expand_scenario_selector("q1_static_1k");
+  ASSERT_EQ(exact.size(), 1u);
+  EXPECT_EQ(exact[0].name, "q1_static_1k");
+
+  // A family prefix expands to every member that starts with it,
+  // across the matrix AND the families — "--only q1_" must sweep the
+  // whole quantized family, never error out.
+  const auto family = expand_scenario_selector("q1_");
+  EXPECT_GT(family.size(), 1u);
+  bool saw_static_1k = false;
+  for (const auto& scenario : family) {
+    EXPECT_EQ(scenario.name.compare(0, 3, "q1_"), 0) << scenario.name;
+    if (scenario.name == "q1_static_1k") saw_static_1k = true;
+  }
+  EXPECT_TRUE(saw_static_1k);
+
+  // An exact matrix name that is ALSO a prefix of other names must
+  // resolve to the exact match alone (exact beats prefix).
+  const auto exact_wins = expand_scenario_selector("static_1k");
+  ASSERT_EQ(exact_wins.size(), 1u);
+  EXPECT_EQ(exact_wins[0].name, "static_1k");
+
+  // Matching nothing yields an empty vector — callers turn that into
+  // an unknown-scenario error, never a vacuously-empty sweep.
+  EXPECT_TRUE(expand_scenario_selector("zzz_no_such_prefix").empty());
+  EXPECT_TRUE(expand_scenario_selector("").empty());
+}
+
 // Smoke: at least 3 named scenarios run end-to-end (downscaled horizon)
 // through the runner and produce sane metrics.
 TEST(ScenarioMatrix, SmokeRunsThroughRunner) {

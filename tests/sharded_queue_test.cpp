@@ -1,0 +1,402 @@
+// Tests for the sharded event-queue engine: MetaHeap ordering, the
+// randomized single-queue vs sharded-queue equivalence property
+// (schedule/cancel/cross-shard storms), frontier edge cases (empty
+// shard, simultaneous ties, cancel of a frontier event), delivery-lane
+// hand-offs, and session-level byte-identity of the sharded engine
+// against the single-queue oracle at threads 1/2/4/8.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/session.hpp"
+#include "net/latency_model.hpp"
+#include "net/message.hpp"
+#include "net/network.hpp"
+#include "runner/experiment_runner.hpp"
+#include "runner/scenario.hpp"
+#include "sim/sharded_queue.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generator.hpp"
+#include "util/rng.hpp"
+
+namespace continu {
+namespace {
+
+using sim::EventQueue;
+using sim::MetaHeap;
+using sim::ShardedEventQueue;
+
+// ---------------------------------------------------------------------------
+// MetaHeap
+// ---------------------------------------------------------------------------
+
+TEST(MetaHeap, OrdersByTimeThenKey) {
+  MetaHeap heap(4);
+  EXPECT_TRUE(heap.empty());
+  heap.update(0, 5.0, 10);
+  heap.update(1, 3.0, 20);
+  heap.update(2, 3.0, 7);
+  heap.update(3, 9.0, 1);
+  ASSERT_FALSE(heap.empty());
+  EXPECT_EQ(heap.top().slot, 2u);  // earliest time, then smallest key
+  heap.clear(2);
+  EXPECT_EQ(heap.top().slot, 1u);
+  heap.clear(1);
+  EXPECT_EQ(heap.top().slot, 0u);
+}
+
+TEST(MetaHeap, UpdateRepositionsBothDirections) {
+  MetaHeap heap(3);
+  heap.update(0, 1.0, 1);
+  heap.update(1, 2.0, 2);
+  heap.update(2, 3.0, 3);
+  heap.update(0, 10.0, 4);  // head moves later
+  EXPECT_EQ(heap.top().slot, 1u);
+  heap.update(2, 0.5, 5);  // tail moves earliest
+  EXPECT_EQ(heap.top().slot, 2u);
+  heap.update(2, 0.5, 5);  // no-op update keeps the heap consistent
+  EXPECT_EQ(heap.top().slot, 2u);
+  heap.clear(2);
+  heap.clear(1);
+  heap.clear(0);
+  EXPECT_TRUE(heap.empty());
+  heap.clear(0);  // clearing an absent slot is a no-op
+  EXPECT_TRUE(heap.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized single-queue vs sharded-queue equivalence
+// ---------------------------------------------------------------------------
+
+// Drives one simulator through a deterministic schedule/cancel storm:
+// root events at random (often colliding) times, children scheduled
+// from inside handlers (cross-shard by construction — sequences spread
+// round-robin), random cancels of still-pending handles, plus deferred
+// batches. The execution log (time, token) is the equivalence witness.
+struct Storm {
+  sim::Simulator& sim;
+  util::Rng rng;
+  std::vector<sim::EventId> handles;
+  std::vector<std::pair<double, int>> log;
+  int next_token = 0;
+
+  explicit Storm(sim::Simulator& s, std::uint64_t seed) : sim(s), rng(seed) {}
+
+  void fire(int token) {
+    log.emplace_back(sim.now(), token);
+    const std::uint64_t roll = rng.next_below(100);
+    if (roll < 35) {
+      // Child event, possibly at the SAME instant (tie across shards).
+      const double dt = (roll < 10) ? 0.0 : 0.25 * static_cast<double>(rng.next_below(8));
+      schedule(sim.now() + dt);
+    }
+    if (roll >= 90 && !handles.empty()) {
+      // Cancel a random pending-or-stale handle; cancelling a fired id
+      // must be a harmless no-op on both engines.
+      (void)sim.cancel(handles[rng.next_below(handles.size())]);
+    }
+  }
+
+  void schedule(double when) {
+    const int token = next_token++;
+    Storm* self = this;
+    handles.push_back(sim.schedule_at(when, [self, token] { self->fire(token); }));
+  }
+};
+
+TEST(ShardedQueueEquivalence, RandomStormsMatchSingleQueue) {
+  for (std::uint64_t trial = 0; trial < 100; ++trial) {
+    sim::Simulator single;
+    sim::Simulator sharded(4 + static_cast<unsigned>(trial % 3));  // 4..6 -> 4/8
+    auto run = [&](sim::Simulator& sim) {
+      Storm storm(sim, 1000 + trial);
+      for (int i = 0; i < 40; ++i) {
+        storm.schedule(0.5 * static_cast<double>(storm.rng.next_below(20)));
+      }
+      sim.run_until(64.0);
+      return std::move(storm.log);
+    };
+    const auto log_single = run(single);
+    const auto log_sharded = run(sharded);
+    ASSERT_EQ(log_single, log_sharded) << "trial " << trial;
+    EXPECT_EQ(single.executed(), sharded.executed()) << "trial " << trial;
+    EXPECT_EQ(single.now(), sharded.now()) << "trial " << trial;
+  }
+}
+
+TEST(ShardedQueueEquivalence, DeferredBatchesMatchSingleQueue) {
+  sim::Simulator single;
+  sim::Simulator sharded(8);
+  auto run = [](sim::Simulator& sim) {
+    std::vector<std::pair<double, int>> log;
+    std::vector<EventQueue::Deferred> batch;
+    for (int i = 0; i < 32; ++i) {
+      EventQueue::Deferred d;
+      d.time = (i % 5) * 1.0;  // heavy ties
+      const int token = i;
+      auto* logp = &log;
+      sim::Simulator* simp = &sim;
+      d.action = sim::EventAction(
+          [logp, simp, token] { logp->emplace_back(simp->now(), token); });
+      batch.push_back(std::move(d));
+    }
+    sim.schedule_deferred(batch);
+    EXPECT_TRUE(batch.empty());
+    sim.run_all();
+    return log;
+  };
+  EXPECT_EQ(run(single), run(sharded));
+}
+
+// ---------------------------------------------------------------------------
+// Frontier edge cases
+// ---------------------------------------------------------------------------
+
+TEST(ShardedQueueFrontier, SimultaneousTiesDrainInScheduleOrder) {
+  ShardedEventQueue queue(4);
+  std::vector<int> fired;
+  for (int i = 0; i < 100; ++i) {
+    auto* firedp = &fired;
+    const int token = i;
+    (void)queue.push(1.0, sim::EventAction([firedp, token] {
+                       firedp->push_back(token);
+                     }));
+  }
+  ShardedEventQueue::DueEvent due;
+  while (queue.acquire_due(2.0, due)) queue.execute_and_release(due);
+  ASSERT_EQ(fired.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fired[i], i);
+  // One frontier instant, sampled once; every shard held work there.
+  EXPECT_EQ(queue.frontier_advances(), 1u);
+  EXPECT_EQ(queue.frontier_stalled_shards(), 0u);
+}
+
+TEST(ShardedQueueFrontier, CancelOfFrontierEventAdvancesMeta) {
+  ShardedEventQueue queue(4);
+  std::vector<int> fired;
+  auto push_at = [&](double when, int token) {
+    auto* firedp = &fired;
+    return queue.push(when, sim::EventAction([firedp, token] {
+                        firedp->push_back(token);
+                      }));
+  };
+  const sim::EventId head = push_at(1.0, 0);
+  (void)push_at(2.0, 1);
+  (void)push_at(3.0, 2);
+  SimTime t = 0.0;
+  std::uint64_t seq = 0;
+  ASSERT_TRUE(queue.peek(t, seq));
+  EXPECT_EQ(t, 1.0);
+  EXPECT_TRUE(queue.cancel(head));
+  EXPECT_FALSE(queue.cancel(head));  // second cancel is stale
+  ASSERT_TRUE(queue.peek(t, seq));
+  EXPECT_EQ(t, 2.0);  // the meta-heap advanced past the cancelled head
+  ShardedEventQueue::DueEvent due;
+  while (queue.acquire_due(10.0, due)) queue.execute_and_release(due);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(ShardedQueueFrontier, EmptyShardNeverBlocksTheDrain) {
+  // Two shards; sequences alternate 1,2,3,4 -> shards 1,0,1,0. Cancel
+  // everything on shard 0 so it sits empty while shard 1 drains.
+  ShardedEventQueue queue(2);
+  std::vector<int> fired;
+  std::vector<sim::EventId> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto* firedp = &fired;
+    const int token = i;
+    ids.push_back(queue.push(1.0 + i, sim::EventAction([firedp, token] {
+                               firedp->push_back(token);
+                             })));
+  }
+  EXPECT_TRUE(queue.cancel(ids[1]));
+  EXPECT_TRUE(queue.cancel(ids[3]));
+  EXPECT_EQ(queue.size(), 2u);
+  ShardedEventQueue::DueEvent due;
+  while (queue.acquire_due(10.0, due)) queue.execute_and_release(due);
+  EXPECT_EQ(fired, (std::vector<int>{0, 2}));
+  // Both surviving events sat on one shard: the other shard stalled at
+  // each of the two frontier instants.
+  EXPECT_EQ(queue.frontier_advances(), 2u);
+  EXPECT_EQ(queue.frontier_stalled_shards(), 2u);
+}
+
+TEST(ShardedQueueFrontier, AllocateSeqInterleavesWithoutDisturbingOrder) {
+  ShardedEventQueue queue(4);
+  std::vector<int> fired;
+  auto push_tok = [&](double when, int token) {
+    auto* firedp = &fired;
+    (void)queue.push(when, sim::EventAction([firedp, token] {
+                       firedp->push_back(token);
+                     }));
+  };
+  push_tok(1.0, 0);
+  const std::uint64_t s1 = queue.allocate_seq();
+  const std::uint64_t s2 = queue.allocate_seq();
+  EXPECT_EQ(s2, s1 + 1);
+  push_tok(1.0, 1);  // same instant, later sequence — still FIFO
+  push_tok(0.5, 2);
+  ShardedEventQueue::DueEvent due;
+  while (queue.acquire_due(10.0, due)) queue.execute_and_release(due);
+  EXPECT_EQ(fired, (std::vector<int>{2, 0, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// Delivery-lane hand-offs (quantized mode on the sharded engine)
+// ---------------------------------------------------------------------------
+
+TEST(ShardedHandoff, LanedNetworkMatchesBucketedNetwork) {
+  // Two simulators, one per engine, each with a quantized Network; the
+  // same send_sharded workload must deliver in the same order with the
+  // same counters. No executor: the inline fallback shares the shard
+  // decomposition, so the comparison is exact.
+  auto run = [](unsigned queue_shards) {
+    auto sim = queue_shards > 0 ? std::make_unique<sim::Simulator>(queue_shards)
+                                : std::make_unique<sim::Simulator>();
+    net::Network net(*sim, net::LatencyModel({10.0, 20.0, 30.0, 40.0}, 5.0,
+                                             /*grid_ms=*/2.0));
+    EXPECT_EQ(net.laned(), queue_shards > 0);
+    std::vector<std::pair<double, int>> log;
+    auto* logp = &log;
+    for (int wave = 0; wave < 5; ++wave) {
+      for (std::uint32_t to = 0; to < 4; ++to) {
+        const int token = wave * 4 + static_cast<int>(to);
+        sim::Simulator* simp = sim.get();
+        net.send_sharded(/*from=*/0, to, net::MessageType::kBufferMap,
+                         /*bits=*/100,
+                         [logp, simp, token](net::DeliveryContext&) {
+                           logp->emplace_back(simp->now(), token);
+                         },
+                         /*extra_delay=*/0.01 * wave);
+      }
+    }
+    sim->run_until(10.0);
+    return std::make_tuple(std::move(log), net.delivery_batches(),
+                           net.batched_deliveries(), sim->executed());
+  };
+  const auto bucketed = run(0);
+  const auto laned = run(4);
+  EXPECT_EQ(std::get<0>(bucketed), std::get<0>(laned));
+  EXPECT_EQ(std::get<1>(bucketed), std::get<1>(laned));
+  EXPECT_EQ(std::get<2>(bucketed), std::get<2>(laned));
+  EXPECT_EQ(std::get<3>(bucketed), std::get<3>(laned));
+}
+
+TEST(ShardedHandoff, FrontierCountersTrackBarriers) {
+  sim::Simulator sim(4);
+  net::Network net(sim, net::LatencyModel({10.0, 20.0}, 5.0, /*grid_ms=*/1.0));
+  ASSERT_TRUE(net.laned());
+  int delivered = 0;
+  auto* dp = &delivered;
+  net.send_sharded(0, 1, net::MessageType::kBufferMap, 64,
+                   [dp](net::DeliveryContext&) { ++*dp; });
+  net.send_sharded(1, 0, net::MessageType::kBufferMap, 64,
+                   [dp](net::DeliveryContext&) { ++*dp; });
+  sim.run_until(1.0);
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(net.frontier_barriers(), net.delivery_batches());
+  EXPECT_GT(net.frontier_barriers(), 0u);
+  // 4 lanes, and each barrier drained one receiver's lane — the other
+  // lanes count as stalled.
+  EXPECT_GT(net.frontier_stalled_lanes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Session-level byte-identity: sharded engine vs single-queue oracle
+// ---------------------------------------------------------------------------
+
+std::uint64_t session_fingerprint(const trace::TraceSnapshot& snapshot,
+                                  unsigned threads, bool churn, double grid_ms,
+                                  bool sharded_queue) {
+  core::SystemConfig config;
+  config.seed = 42;
+  config.expected_nodes = 200;
+  config.threads = threads;
+  config.churn_enabled = churn;
+  config.latency_grid_ms = grid_ms;
+  config.sharded_queue = sharded_queue;
+  runner::ReplicationSpec spec;
+  spec.config = config;
+  spec.snapshot = std::make_shared<const trace::TraceSnapshot>(snapshot);
+  spec.duration = 25.0;
+  spec.stable_from = 15.0;
+  return runner::result_fingerprint(runner::ExperimentRunner::run_one(spec));
+}
+
+TEST(ShardedQueueSessions, BitIdenticalToSingleQueueAcrossThreadCounts) {
+  trace::GeneratorConfig tc;
+  tc.node_count = 200;
+  tc.seed = 21;
+  const auto snapshot = trace::generate_snapshot(tc);
+
+  // Continuous AND quantized, static AND churn: the reference is the
+  // single-queue engine at threads 1; the sharded engine must match it
+  // bit for bit at every width.
+  for (const double grid_ms : {0.0, 1.0}) {
+    for (const bool churn : {false, true}) {
+      const std::uint64_t reference =
+          session_fingerprint(snapshot, 1, churn, grid_ms, false);
+      for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        EXPECT_EQ(session_fingerprint(snapshot, threads, churn, grid_ms, true),
+                  reference)
+            << "threads " << threads << " churn " << churn << " grid "
+            << grid_ms;
+      }
+    }
+  }
+}
+
+TEST(ShardedQueueSessions, FaultedScenarioMatchesOracle) {
+  // Fault injection + retry hardening + quantized lanes together: the
+  // f5_q1 family member exercises send-boundary loss classification on
+  // the laned hand-off path.
+  const auto scenario = runner::find_scenario("f5_q1_static_small");
+  ASSERT_TRUE(scenario.has_value());
+  auto fingerprint = [&](unsigned threads, bool sharded_queue) {
+    auto spec = runner::spec_for(*scenario, 42);
+    spec.config.threads = threads;
+    spec.config.sharded_queue = sharded_queue;
+    return runner::result_fingerprint(runner::ExperimentRunner::run_one(spec));
+  };
+  const std::uint64_t reference = fingerprint(1, false);
+  EXPECT_EQ(fingerprint(1, true), reference);
+  EXPECT_EQ(fingerprint(4, true), reference);
+}
+
+TEST(ShardedQueueSessions, ShardCountIsPurelyAPerformanceKnob) {
+  // The frontier walk restores global order for ANY shard count, so
+  // 2/8/32 shards all reproduce the oracle fingerprint.
+  trace::GeneratorConfig tc;
+  tc.node_count = 120;
+  tc.seed = 9;
+  const auto snapshot = trace::generate_snapshot(tc);
+  auto fingerprint = [&](bool sharded, unsigned shards) {
+    core::SystemConfig config;
+    config.seed = 7;
+    config.expected_nodes = 120;
+    config.threads = 2;
+    config.latency_grid_ms = 1.0;
+    config.sharded_queue = sharded;
+    config.sharded_queue_shards = shards;
+    runner::ReplicationSpec spec;
+    spec.config = config;
+    spec.snapshot = std::make_shared<const trace::TraceSnapshot>(snapshot);
+    spec.duration = 15.0;
+    spec.stable_from = 10.0;
+    return runner::result_fingerprint(runner::ExperimentRunner::run_one(spec));
+  };
+  const std::uint64_t reference = fingerprint(false, 8);
+  for (const unsigned shards : {2u, 8u, 32u}) {
+    EXPECT_EQ(fingerprint(true, shards), reference) << "shards " << shards;
+  }
+}
+
+}  // namespace
+}  // namespace continu

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Dead-link gate for the markdown docs.
+
+Scans README.md and every .md file under docs/ for relative markdown
+links and FAILS (exit 1) when a target does not exist on disk — so a
+renamed file or a typo'd path breaks the push, not the next reader.
+
+    check_docs_links.py [--root REPO_ROOT]
+
+What counts as a link: inline markdown links ``[text](target)`` and
+reference definitions ``[label]: target``. External schemes
+(http/https/mailto) and pure in-page anchors (``#section``) are
+skipped; a ``path#fragment`` target is checked for the path's
+existence (fragments themselves are not resolved — headings move too
+often for that to gate usefully). Links inside fenced code blocks are
+ignored: they are examples, not navigation.
+
+Exit codes: 0 all links resolve, 1 dead link(s), 2 usage error.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)")
+FENCE = re.compile(r"^\s*(```|~~~)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_links(text: str):
+    """Yields (line_number, target) for every checkable link."""
+    in_fence = False
+    for number, line in enumerate(text.splitlines(), start=1):
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in INLINE_LINK.finditer(line):
+            yield number, match.group(1)
+        ref = REF_DEF.match(line)
+        if ref:
+            yield number, ref.group(1)
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for line_number, target in iter_links(text):
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        # Strip an in-page fragment; an empty remainder was anchor-only.
+        target_path = target.split("#", 1)[0]
+        if not target_path:
+            continue
+        if target_path.startswith("/"):
+            # Site-absolute paths have no meaning in a git checkout.
+            errors.append(
+                f"{path.relative_to(root)}:{line_number}: absolute link "
+                f"'{target}' — use a relative path"
+            )
+            continue
+        resolved = (path.parent / target_path).resolve()
+        if not resolved.exists():
+            errors.append(
+                f"{path.relative_to(root)}:{line_number}: dead link "
+                f"'{target}' (resolved to {resolved})"
+            )
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "--root", default=".", help="repository root (default: cwd)"
+    )
+    args = parser.parse_args()
+
+    root = pathlib.Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"link gate: not a directory: {root}", file=sys.stderr)
+        return 2
+
+    files = []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    if not files:
+        print("link gate: no markdown files found — wrong --root?",
+              file=sys.stderr)
+        return 2
+
+    errors = []
+    checked = 0
+    for path in files:
+        checked += 1
+        errors.extend(check_file(path, root))
+
+    if errors:
+        for error in errors:
+            print(f"link gate: {error}", file=sys.stderr)
+        print(
+            f"link gate: FAIL — {len(errors)} dead link(s) across "
+            f"{checked} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"link gate: OK — all relative links resolve in {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,6 +58,7 @@ struct CliOptions {
   bool vary_trace_seed = false;
   unsigned jobs = 0;     // 0 = hardware concurrency (flag demands >= 1)
   unsigned threads = 1;  // intra-session fork/join width
+  bool sharded_queue = false;  // sharded event-queue engine (bit-identical)
   std::size_t replications = 1;
   bool list_scenarios = false;
   bool quiet = false;
@@ -97,6 +98,9 @@ void print_usage(const char* argv0) {
       "                     results are identical for every value). With\n"
       "                     replications the runner clamps jobs so\n"
       "                     jobs x threads fits the machine\n"
+      "  --sharded-queue    run on the sharded event-queue engine (per-shard\n"
+      "                     heaps + meta-heap frontier; results are bit-identical\n"
+      "                     to the default single-queue engine)\n"
       "  --csv FILE         dump per-round series as CSV\n"
       "  --csv-mode MODE    what --csv writes for multi-replication runs:\n"
       "                       first   series of replication 0 only (default)\n"
@@ -215,6 +219,8 @@ void print_usage(const char* argv0) {
         return std::nullopt;
       }
       opt.threads = *parsed;
+    } else if (arg == "--sharded-queue") {
+      opt.sharded_queue = true;
     } else if (arg == "--csv") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -359,6 +365,9 @@ int main(int argc, char** argv) {
   // When scenario-driven, the scenario fixes workload shape AND horizons;
   // the CLI's --seed still picks the replication seed stream.
   runner::ReplicationSpec spec = base_spec(opt);
+  // Engine selection is orthogonal to the workload: --sharded-queue is
+  // legal with --scenario because it cannot change any result.
+  spec.config.sharded_queue = opt.sharded_queue;
   if (opt.vary_trace_seed) {
     if (opt.replications <= 1) {
       std::fprintf(stderr, "--vary-trace-seed needs --replications > 1\n");

@@ -22,8 +22,17 @@
 // obs-on vs obs-off diff is the CI gate proving observability never
 // perturbs the engine.
 //
+// --sharded-queue runs every session on the sharded event-queue
+// engine (per-shard heaps + meta-heap frontier) while printing the
+// SAME output — the on-vs-off diff is the CI gate proving the sharded
+// engine is byte-identical to the single-queue oracle.
+//
+// --only accepts exact scenario names AND family prefixes: "--only
+// q1_" expands to every q1_* scenario (matrix + families, registry
+// order). A selector matching nothing is still a hard error.
+//
 //   scenario_fingerprint [--seed S] [--only NAME[,NAME...]] [--threads N]
-//                        [--include-large] [--obs] [--quiet]
+//                        [--include-large] [--obs] [--sharded-queue] [--quiet]
 
 #include <cinttypes>
 #include <cstdio>
@@ -44,6 +53,7 @@ int main(int argc, char** argv) {
   unsigned threads = 1;
   bool include_large = false;
   bool obs = false;
+  bool sharded_queue = false;
   std::vector<std::string> only;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
@@ -68,6 +78,8 @@ int main(int argc, char** argv) {
       include_large = true;
     } else if (std::strcmp(argv[i], "--obs") == 0) {
       obs = true;
+    } else if (std::strcmp(argv[i], "--sharded-queue") == 0) {
+      sharded_queue = true;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       util::set_log_level(util::LogLevel::kError);
     } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
@@ -83,20 +95,25 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seed S] [--only NAME[,NAME...]] [--threads N] "
-                   "[--include-large] [--obs] [--quiet]\n",
+                   "[--include-large] [--obs] [--sharded-queue] [--quiet]\n",
                    argv[0]);
       return 1;
     }
   }
 
-  // Unknown --only names are an error, not a silent skip: a renamed
-  // scenario must fail the CI fingerprint step, not vacuously pass it.
+  // Resolve --only selectors up front: exact names take one scenario,
+  // family prefixes ("q1_") expand to every member. A selector that
+  // matches NOTHING is an error, not a silent skip: a renamed scenario
+  // must fail the CI fingerprint step, not vacuously pass it.
+  std::vector<runner::Scenario> selected;
   for (const auto& name : only) {
-    if (!runner::find_scenario(name).has_value()) {
+    auto expanded = runner::expand_scenario_selector(name);
+    if (expanded.empty()) {
       std::fprintf(stderr, "%s\n",
                    runner::cli::unknown_scenario_message(name).c_str());
       return 1;
     }
+    for (auto& scenario : expanded) selected.push_back(std::move(scenario));
   }
 
   // Default sweep: the core matrix, MINUS production-scale scenarios
@@ -121,12 +138,13 @@ int main(int argc, char** argv) {
       scenarios.push_back(scenario);
     }
   } else {
-    for (const auto& name : only) scenarios.push_back(*runner::find_scenario(name));
+    scenarios = std::move(selected);
   }
 
   for (const auto& scenario : scenarios) {
     auto spec = runner::spec_for(scenario, seed);
     spec.config.threads = threads;
+    spec.config.sharded_queue = sharded_queue;
     if (obs) {
       spec.config.obs.profile = true;
       spec.config.obs.trace = true;
