@@ -1,0 +1,257 @@
+// bench_lax_divergence — the committed lax-vs-strict drift study for
+// the bounded-skew sharded drain. For each quantized scenario it runs
+// the strict sharded engine, then the lax drain at each requested skew,
+// all at the SAME (seed, config, trace), and reports how far the
+// headline metrics move:
+//
+//   {"bench": "lax_divergence", "seed": 42, "reps": 8, "skews": [0, 1, 4],
+//    "scenarios": [{"scenario": "q1_static_1k", "nodes": 1000,
+//      "strict": {"continuity": 0.97, "stabilization_s": 8.1, ...},
+//      "points": [{"skew": 1, "continuity": 0.969,
+//                  "continuity_delta": -0.001, "continuity_rel": -0.0008,
+//                  ...}, ...]}, ...]}
+//
+// Lax mode is an intentional approximation (shards drain up to
+// skew x grid ahead of the global frontier so Phase A pops can fork);
+// this study is the evidence the approximation is faithful, and the
+// skew-0 row doubles as a zero-drift witness (skew 0 IS strict, so
+// every delta there must print exactly 0). CI feeds the skew-1 means
+// into bench/check_drift.py against the committed drift budget — the
+// gate measures live, per BENCHMARKS.md, and this JSON is the archived
+// evidence trail.
+//
+// Replication protocol matches bench_quantized_divergence: means over
+// --reps matched replication_seed streams, with the continuity spread
+// reported so deltas can be read against run-to-run noise.
+//
+// Default sweep: the q1_ and f5_q1_ families (lax needs a latency
+// grid; a continuous scenario is a hard error, not a silent
+// strict-equals-strict row).
+//
+//   bench_lax_divergence [--scenarios A,B,...] [--skews K,K,...]
+//                        [--seed S] [--reps N] [--duration SEC]
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "runner/cli.hpp"
+
+namespace {
+
+[[nodiscard]] std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos != std::string::npos) {
+    const std::size_t comma = list.find(',', pos);
+    std::string item =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!item.empty()) out.push_back(std::move(item));
+    pos = comma == std::string::npos ? comma : comma + 1;
+  }
+  return out;
+}
+
+struct MetricSet {
+  double continuity = 0.0;
+  double continuity_index = 0.0;
+  double stabilization_s = 0.0;
+  double control_overhead = 0.0;
+  double prefetch_overhead = 0.0;
+};
+
+[[nodiscard]] MetricSet metrics_of(const continu::runner::ReplicationResult& run) {
+  MetricSet m;
+  m.continuity = run.stable_continuity;
+  m.continuity_index = run.continuity_index;
+  m.stabilization_s = run.stabilization_time;
+  m.control_overhead = run.control_overhead;
+  m.prefetch_overhead = run.prefetch_overhead;
+  return m;
+}
+
+struct Sampled {
+  MetricSet mean;
+  double continuity_min = 1.0;
+  double continuity_max = 0.0;
+};
+
+[[nodiscard]] Sampled sample_config(continu::runner::ReplicationSpec spec,
+                                    std::uint64_t base_seed, std::size_t reps) {
+  using namespace continu;
+  Sampled out;
+  for (std::size_t r = 0; r < reps; ++r) {
+    spec.config.seed = runner::replication_seed(base_seed, r);
+    const MetricSet m = metrics_of(runner::ExperimentRunner::run_one(spec));
+    out.mean.continuity += m.continuity;
+    out.mean.continuity_index += m.continuity_index;
+    out.mean.stabilization_s += m.stabilization_s;
+    out.mean.control_overhead += m.control_overhead;
+    out.mean.prefetch_overhead += m.prefetch_overhead;
+    out.continuity_min = std::min(out.continuity_min, m.continuity);
+    out.continuity_max = std::max(out.continuity_max, m.continuity);
+  }
+  const double n = static_cast<double>(reps);
+  out.mean.continuity /= n;
+  out.mean.continuity_index /= n;
+  out.mean.stabilization_s /= n;
+  out.mean.control_overhead /= n;
+  out.mean.prefetch_overhead /= n;
+  return out;
+}
+
+void print_metrics_json(const MetricSet& m) {
+  std::printf("\"continuity\": %.6f, \"continuity_index\": %.6f, "
+              "\"stabilization_s\": %.3f, \"control_overhead\": %.6f, "
+              "\"prefetch_overhead\": %.6f",
+              m.continuity, m.continuity_index, m.stabilization_s,
+              m.control_overhead, m.prefetch_overhead);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace continu;
+
+  std::vector<std::string> names;
+  std::vector<unsigned> skews = {0, 1, 4};
+  std::uint64_t seed = 42;
+  std::size_t reps = 8;
+  double duration = 0.0;  // 0 = scenario default
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scenarios") == 0 && i + 1 < argc) {
+      names = split_csv(argv[++i]);
+    } else if (std::strcmp(argv[i], "--skews") == 0 && i + 1 < argc) {
+      skews.clear();
+      for (const auto& k : split_csv(argv[++i])) {
+        const auto parsed = runner::cli::parse_uint(k.c_str());
+        if (!parsed.has_value()) {
+          std::fprintf(stderr, "--skews expects integers >= 0, got '%s'\n",
+                       k.c_str());
+          return 1;
+        }
+        skews.push_back(static_cast<unsigned>(*parsed));
+      }
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      const auto parsed = runner::cli::parse_uint(argv[++i]);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "--seed expects a non-negative integer, got '%s'\n",
+                     argv[i]);
+        return 1;
+      }
+      seed = *parsed;
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      const auto parsed = runner::cli::parse_positive_u32(argv[++i]);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "--reps expects a positive integer, got '%s'\n",
+                     argv[i]);
+        return 1;
+      }
+      reps = *parsed;
+    } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
+      duration = std::strtod(argv[++i], nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scenarios A,B,...] [--skews K,K,...] "
+                   "[--seed S] [--reps N] [--duration SEC]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (skews.empty()) {
+    std::fprintf(stderr, "--skews must name at least one skew\n");
+    return 1;
+  }
+
+  // Default sweep: every quantized family member lax can run on.
+  std::vector<runner::Scenario> scenarios;
+  if (names.empty()) {
+    for (const char* family : {"q1_", "f5_q1_"}) {
+      for (auto& s : runner::expand_scenario_selector(family)) {
+        scenarios.push_back(std::move(s));
+      }
+    }
+  } else {
+    for (const auto& name : names) scenarios.push_back(bench::require_scenario(name));
+  }
+  for (const auto& scenario : scenarios) {
+    if (runner::spec_for(scenario, seed).config.latency_grid_ms <= 0.0) {
+      // Lax never engages without a grid; a continuous scenario here
+      // would print a vacuous zero-drift row and poison the study.
+      std::fprintf(stderr,
+                   "scenario '%s' has no latency grid — lax mode needs a "
+                   "quantized scenario (q1_*, f5_q1_*, ...)\n",
+                   scenario.name.c_str());
+      return 1;
+    }
+  }
+
+  // Human-readable table on stderr, pure JSON record on stdout — the CI
+  // artifact step redirects stdout to the archived file.
+  std::fprintf(stderr,
+               "lax divergence — strict vs bounded-skew sharded drain, same "
+               "trace/seed\n%-20s %6s %12s %12s %10s %10s\n",
+               "scenario", "skew", "continuity", "delta", "rel", "stab_ds");
+
+  std::printf("{\"bench\": \"lax_divergence\", \"seed\": %" PRIu64
+              ", \"reps\": %zu, \"skews\": [",
+              seed, reps);
+  for (std::size_t i = 0; i < skews.size(); ++i) {
+    std::printf("%s%u", i == 0 ? "" : ", ", skews[i]);
+  }
+  std::printf("], \"scenarios\": [");
+
+  bool first_scenario = true;
+  for (const auto& scenario : scenarios) {
+    auto spec = runner::spec_for(scenario, seed);
+    if (duration > 0.0) spec.duration = duration;
+    spec.config.sharded_queue = true;
+    spec.snapshot = std::make_shared<const trace::TraceSnapshot>(
+        trace::generate_snapshot(spec.trace));
+
+    spec.config.queue_skew_buckets = 0;
+    const Sampled base = sample_config(spec, seed, reps);
+    std::fprintf(stderr, "%-20s %6s %12.6f %12s %10s %10s  [%0.4f, %0.4f]\n",
+                 scenario.name.c_str(), "strict", base.mean.continuity, "-",
+                 "-", "-", base.continuity_min, base.continuity_max);
+
+    std::printf("%s{\"scenario\": \"%s\", \"nodes\": %zu, \"strict\": {",
+                first_scenario ? "" : ", ", scenario.name.c_str(),
+                scenario.node_count);
+    first_scenario = false;
+    print_metrics_json(base.mean);
+    std::printf(", \"continuity_min\": %.6f, \"continuity_max\": %.6f}, "
+                "\"points\": [",
+                base.continuity_min, base.continuity_max);
+
+    for (std::size_t k = 0; k < skews.size(); ++k) {
+      spec.config.queue_skew_buckets = skews[k];
+      const Sampled lax = sample_config(spec, seed, reps);
+      const double delta = lax.mean.continuity - base.mean.continuity;
+      const double rel =
+          base.mean.continuity > 0.0 ? delta / base.mean.continuity : 0.0;
+      const double stab_ds =
+          lax.mean.stabilization_s - base.mean.stabilization_s;
+      std::fprintf(stderr,
+                   "%-20s %6u %12.6f %+12.6f %+9.4f%% %+9.3fs  [%0.4f, %0.4f]\n",
+                   scenario.name.c_str(), skews[k], lax.mean.continuity, delta,
+                   rel * 100.0, stab_ds, lax.continuity_min,
+                   lax.continuity_max);
+
+      std::printf("%s{\"skew\": %u, ", k == 0 ? "" : ", ", skews[k]);
+      print_metrics_json(lax.mean);
+      std::printf(", \"continuity_min\": %.6f, \"continuity_max\": %.6f"
+                  ", \"continuity_delta\": %.6f, \"continuity_rel\": %.6f, "
+                  "\"stabilization_delta_s\": %.3f}",
+                  lax.continuity_min, lax.continuity_max, delta, rel, stab_ds);
+      std::fflush(stdout);
+    }
+    std::printf("]}");
+  }
+  std::printf("]}\n");
+  return 0;
+}

@@ -18,8 +18,13 @@
 // point at threads=1 still runs sharded — byte-identity to the
 // single-queue engine is the fingerprint oracle's job).
 //
+// --queue-skew K (with --sharded-queue, quantized scenario) runs every
+// point in lax mode at that skew. The cross-thread fingerprint check
+// then enforces lax determinism: a fixed skew must produce identical
+// results at every width, even though lax differs from strict.
+//
 //   bench_session_scaling [--scenario NAME] [--duration SEC] [--seed S]
-//                         [--sharded-queue]
+//                         [--sharded-queue] [--queue-skew K]
 
 #include <chrono>
 #include <cinttypes>
@@ -40,6 +45,7 @@ int main(int argc, char** argv) {
   double duration = 0.0;  // 0 = scenario default
   std::uint64_t seed = 42;
   bool sharded_queue = false;
+  unsigned queue_skew = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
       name = argv[++i];
@@ -55,10 +61,18 @@ int main(int argc, char** argv) {
       seed = *parsed;
     } else if (std::strcmp(argv[i], "--sharded-queue") == 0) {
       sharded_queue = true;
+    } else if (std::strcmp(argv[i], "--queue-skew") == 0 && i + 1 < argc) {
+      const auto parsed = runner::cli::parse_uint(argv[++i]);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "--queue-skew expects an integer >= 0, got '%s'\n",
+                     argv[i]);
+        return 1;
+      }
+      queue_skew = static_cast<unsigned>(*parsed);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scenario NAME] [--duration SEC] [--seed S] "
-                   "[--sharded-queue]\n",
+                   "[--sharded-queue] [--queue-skew K]\n",
                    argv[0]);
       return 1;
     }
@@ -68,6 +82,7 @@ int main(int argc, char** argv) {
   auto spec = runner::spec_for(scenario, seed);
   if (duration > 0.0) spec.duration = duration;
   spec.config.sharded_queue = sharded_queue;
+  spec.config.queue_skew_buckets = queue_skew;
   // Build the snapshot once, outside every timed region.
   spec.snapshot = std::make_shared<const trace::TraceSnapshot>(
       trace::generate_snapshot(spec.trace));
@@ -103,10 +118,10 @@ int main(int argc, char** argv) {
 
   std::printf("{\"bench\": \"session_scaling\", \"scenario\": \"%s\", "
               "\"nodes\": %zu, \"duration\": %.1f, \"seed\": %" PRIu64 ", "
-              "\"sharded_queue\": %s, "
+              "\"sharded_queue\": %s, \"queue_skew\": %u, "
               "\"hardware_concurrency\": %u, \"points\": [",
               name.c_str(), scenario.node_count, spec.duration, seed,
-              sharded_queue ? "true" : "false",
+              sharded_queue ? "true" : "false", queue_skew,
               std::thread::hardware_concurrency());
   for (std::size_t i = 0; i < points.size(); ++i) {
     std::printf("%s{\"threads\": %u, \"seconds\": %.3f, \"speedup\": %.3f}",

@@ -144,6 +144,17 @@ struct SystemConfig {
   /// two). Identity holds for ANY value — the frontier walk restores
   /// global order — so this is purely a performance knob.
   unsigned sharded_queue_shards = 8;
+  /// Bounded clock skew for the sharded engine, in latency-grid
+  /// buckets. 0 = strict mode (byte-identical to the single-queue
+  /// oracle, unchanged). k >= 1 = lax mode: shards drain events up to
+  /// k grid buckets ahead of the global meta-heap frontier, with the
+  /// per-shard pops forked across the session executor and cross-shard
+  /// emissions fenced to the next window. Lax runs are deterministic
+  /// and thread-count invariant PER SKEW SETTING, but each k >= 1 is a
+  /// different universe from strict (see docs/DETERMINISM.md contract
+  /// 7 and the committed drift study). Requires sharded_queue and a
+  /// positive latency_grid_ms; ignored otherwise.
+  unsigned queue_skew_buckets = 0;
 
   /// Convenience: mean inbound rate (the lambda of Section 5.1). The
   /// rate distribution is a truncated exponential on [min, max] with

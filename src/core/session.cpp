@@ -192,6 +192,24 @@ Session::Session(const SystemConfig& config, const trace::TraceSnapshot& snapsho
     obs_counters_->ensure_shards(1);
   }
   network_.set_observability(profiler_.get(), trace_.get());
+  // Lax mode: bounded-skew windowed drain instead of the strict
+  // frontier walk. Only engages on the sharded engine under a positive
+  // latency grid (the skew unit is a grid bucket); any other
+  // combination silently stays strict, which is what keeps skew-0 —
+  // and skew on non-applicable configs — byte-identical to today.
+  if (config_.sharded_queue && config_.queue_skew_buckets > 0 &&
+      network_.quantized()) {
+    sim::Simulator::LaxConfig lax;
+    lax.skew_buckets = config_.queue_skew_buckets;
+    lax.grid_s = network_.grid_s();
+    lax.exec = &exec_;
+    lax.on_fork = [this](std::size_t shards) {
+      if (profiler_ != nullptr) {
+        profiler_->begin_fork_phase(obs::Phase::kLaxDrain, shards);
+      }
+    };
+    sim_.set_lax_drain(std::move(lax));
+  }
   build_nodes(snapshot);
   assign_initial_neighbors(snapshot);
   populate_initial_dht();
@@ -2033,6 +2051,22 @@ std::shared_ptr<const obs::ObsReport> Session::obs_report() {
       put("engine.frontier_stalled_shards", squeue->frontier_stalled_shards());
       put("net.frontier_barriers", network_.frontier_barriers());
       put("net.frontier_stalled_lanes", network_.frontier_stalled_lanes());
+      // Lax-mode diagnostics: skew-stall (shards/lanes a window could
+      // not feed) vs the strict counters' frontier-stall, plus the
+      // per-shard lead histogram — how far past each window's anchor
+      // the collected events sat, in grid buckets. All deterministic
+      // per skew setting; identically zero in strict mode.
+      if (sim_.lax()) {
+        put("engine.lax_windows", squeue->lax_windows());
+        put("engine.lax_events_drained", squeue->lax_events_drained());
+        put("engine.lax_stalled_shards", squeue->lax_stalled_shards());
+        put("net.lax_handoff_windows", network_.lax_handoff_windows());
+        const std::vector<std::uint64_t>& hist = squeue->lax_lead_histogram();
+        for (std::size_t b = 0; b < hist.size(); ++b) {
+          report->counter_values.emplace_back(
+              "engine.lax_lead_bucket_" + std::to_string(b), hist[b]);
+        }
+      }
     }
   }
   return report;

@@ -98,10 +98,75 @@ void DeliveryLanes::collect_due(unsigned lane_index, SimTime time) {
     const HeapEntry top = lane.heap.front();
     std::pop_heap(lane.heap.begin(), lane.heap.end(), later);
     lane.heap.pop_back();
-    lane.due.push_back(DueRef{top.key >> kSlotBits,
+    lane.due.push_back(DueRef{top.time, top.key >> kSlotBits,
                              static_cast<std::uint32_t>(top.key & kSlotMask)});
   }
   assert(lane.heap.empty() || lane.heap.front().time > time);
+}
+
+void DeliveryLanes::collect_due_window(unsigned lane_index, SimTime limit) {
+  Lane& lane = lanes_[lane_index];
+  const auto later = [](const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.key > b.key;
+  };
+  // Heap pops surface (time, key) ascending, so the due list comes out
+  // (time, seq)-sorted — ready for the windowed k-way merge.
+  while (!lane.heap.empty() && lane.heap.front().time <= limit) {
+    const HeapEntry top = lane.heap.front();
+    std::pop_heap(lane.heap.begin(), lane.heap.end(), later);
+    lane.heap.pop_back();
+    lane.due.push_back(DueRef{top.time, top.key >> kSlotBits,
+                             static_cast<std::uint32_t>(top.key & kSlotMask)});
+  }
+}
+
+std::size_t DeliveryLanes::merge_due_window(std::vector<HandoffEntry>& out,
+                                            std::vector<SimTime>& times) {
+  std::size_t active = 0;
+  std::size_t total = 0;
+  for (Lane& lane : lanes_) {
+    if (!lane.due.empty()) {
+      ++active;
+      total += lane.due.size();
+    }
+  }
+  if (active == 0) return 0;
+  out.reserve(out.size() + total);
+  times.reserve(times.size() + total);
+  // K-way merge by (time, seq) over the (time, seq)-sorted per-lane
+  // due lists. Entries at one instant come out in global sequence
+  // order — identical to the strict barrier's merge at that instant.
+  std::vector<std::size_t> cursor(lanes_.size(), 0);
+  for (std::size_t produced = 0; produced < total; ++produced) {
+    std::size_t best_lane = lanes_.size();
+    SimTime best_time = 0.0;
+    std::uint64_t best_seq = 0;
+    for (std::size_t l = 0; l < lanes_.size(); ++l) {
+      const Lane& lane = lanes_[l];
+      if (cursor[l] >= lane.due.size()) continue;
+      const DueRef& ref = lane.due[cursor[l]];
+      if (best_lane == lanes_.size() || ref.time < best_time ||
+          (ref.time == best_time && ref.seq < best_seq)) {
+        best_lane = l;
+        best_time = ref.time;
+        best_seq = ref.seq;
+      }
+    }
+    Lane& lane = lanes_[best_lane];
+    const DueRef ref = lane.due[cursor[best_lane]++];
+    out.push_back(std::move(lane.slot(ref.slot).entry));
+    times.push_back(ref.time);
+    lane.release_slot(ref.slot);
+  }
+  size_ -= total;
+  for (std::uint32_t l = 0; l < lanes_.size(); ++l) {
+    if (!lanes_[l].due.empty()) {
+      lanes_[l].due.clear();
+      refresh_meta(l);
+    }
+  }
+  return active;
 }
 
 std::size_t DeliveryLanes::merge_due(std::vector<HandoffEntry>& out) {

@@ -76,6 +76,22 @@ class DeliveryLanes {
   /// at least one entry (the barrier's active-lane count).
   std::size_t merge_due(std::vector<HandoffEntry>& out);
 
+  /// Lax-window phase A: pops lane `lane`'s entries due at or BEFORE
+  /// `limit` (possibly spanning several grid instants) into its due
+  /// list, in (time, seq) order. Lane-local, forkable like
+  /// collect_due.
+  void collect_due_window(unsigned lane, SimTime limit);
+
+  /// Lax-window phase B (serial): merges every lane's due list by
+  /// (time, seq) into `out`, recording each entry's instant in `times`
+  /// (parallel arrays). Within one instant the merged order is global
+  /// sequence order — exactly the strict barrier's entry order — so a
+  /// caller dispatching `out` instant-run by instant-run reproduces
+  /// the strict per-instant batches, just collected in one windowed
+  /// sweep. Returns the active-lane count for the whole window.
+  std::size_t merge_due_window(std::vector<HandoffEntry>& out,
+                               std::vector<SimTime>& times);
+
   /// Hand-offs currently parked.
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
@@ -99,8 +115,10 @@ class DeliveryLanes {
   };
 
   /// Due reference produced by phase A: enough to merge and to find
-  /// the record without touching another lane's state.
+  /// the record without touching another lane's state. `time` only
+  /// matters to the windowed merge (strict barriers pop one instant).
   struct DueRef {
+    SimTime time;
     std::uint64_t seq;
     std::uint32_t slot;
   };

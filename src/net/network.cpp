@@ -25,6 +25,10 @@ Network::Network(sim::Simulator& sim, LatencyModel latency)
       return lanes_->next_key(time, seq);
     };
     hook.dispatch = [this](SimTime time) { fire_frontier(time); };
+    hook.dispatch_window = [this](SimTime limit,
+                                  const std::function<void(SimTime)>& begin) {
+      return fire_frontier_window(limit, begin);
+    };
     sim_.set_frontier_hook(std::move(hook));
   }
 }
@@ -150,6 +154,65 @@ void Network::fire_frontier(SimTime time) {
   frontier_stalled_lanes_ += nlanes - active;
   dispatch_bucket(frontier_entries_);
   frontier_entries_.clear();
+}
+
+std::size_t Network::fire_frontier_window(
+    SimTime limit, const std::function<void(SimTime)>& begin_instant) {
+  SimTime head_time = 0.0;
+  std::uint64_t head_seq = 0;
+  if (!lanes_->next_key(head_time, head_seq) || head_time > limit) return 0;
+  ++lax_handoff_windows_;
+  const unsigned nlanes = lanes_->lane_count();
+  // Phase A: per-lane pops of EVERY instant in the window — the same
+  // lane-local ownership as fire_frontier, with k+1 instants' worth of
+  // entries amortizing one fork instead of one per barrier.
+  if (obs_profiler_ != nullptr) {
+    obs_profiler_->begin_fork_phase(obs::Phase::kLaxDrain, nlanes);
+  }
+  const auto body = [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t lane = begin; lane < end; ++lane) {
+      lanes_->collect_due_window(static_cast<unsigned>(lane), limit);
+    }
+  };
+  if (exec_ != nullptr) {
+    exec_->for_shards(nlanes, /*grain=*/1, body);
+  } else {
+    for (unsigned lane = 0; lane < nlanes; ++lane) {
+      lanes_->collect_due_window(lane, limit);
+    }
+  }
+  // Phase B: one serial merge by (time, seq) for the whole window,
+  // then each instant's run dispatches through the unchanged bucket
+  // path at its own clock — within an instant the entry order is
+  // exactly the strict barrier's.
+  frontier_entries_.clear();
+  frontier_times_.clear();
+  const std::size_t active = lanes_->merge_due_window(frontier_entries_,
+                                                      frontier_times_);
+  frontier_stalled_lanes_ += nlanes - active;
+  std::size_t instants = 0;
+  std::size_t begin = 0;
+  std::vector<ShardedEntry> batch;
+  while (begin < frontier_entries_.size()) {
+    const SimTime instant = frontier_times_[begin];
+    std::size_t end = begin;
+    while (end < frontier_entries_.size() && frontier_times_[end] == instant) {
+      ++end;
+    }
+    begin_instant(instant);
+    ++frontier_barriers_;
+    ++instants;
+    batch.clear();
+    batch.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      batch.push_back(std::move(frontier_entries_[i]));
+    }
+    dispatch_bucket(batch);
+    begin = end;
+  }
+  frontier_entries_.clear();
+  frontier_times_.clear();
+  return instants;
 }
 
 void Network::dispatch_bucket(std::vector<ShardedEntry>& entries) {

@@ -244,8 +244,14 @@ class Network {
   }
   /// Cumulative lanes that held NO due hand-off at a barrier — the
   /// shard_drain imbalance signal, deterministic at every thread count.
+  /// Under lax windows, sampled once per window instead of per instant
+  /// (the skew-stall signal: lanes the whole window could not feed).
   [[nodiscard]] std::uint64_t frontier_stalled_lanes() const noexcept {
     return frontier_stalled_lanes_;
+  }
+  /// Lax hand-off windows swept (0 in strict mode).
+  [[nodiscard]] std::uint64_t lax_handoff_windows() const noexcept {
+    return lax_handoff_windows_;
   }
 
  private:
@@ -330,6 +336,13 @@ class Network {
   /// at `time` — per-lane pops forked under the shard_drain phase, then
   /// a serial merge by sequence — and dispatches the merged batch.
   void fire_frontier(SimTime time);
+  /// Lax-window frontier-hook body: drains EVERY pending hand-off
+  /// instant <= limit in one sweep — per-lane pops forked once for the
+  /// whole window under the lax_drain phase, merged by (time, seq),
+  /// then each instant's batch dispatched in time order behind a
+  /// begin_instant(t) clock stamp. Returns instants dispatched.
+  std::size_t fire_frontier_window(
+      SimTime limit, const std::function<void(SimTime)>& begin_instant);
   /// Groups by receiver, forks across shards, settles the join.
   void dispatch_bucket(std::vector<ShardedEntry>& entries);
 
@@ -378,8 +391,12 @@ class Network {
   std::unique_ptr<DeliveryLanes> lanes_;
   /// Merged-batch scratch, reused across barriers.
   std::vector<ShardedEntry> frontier_entries_;
+  /// Per-entry instants parallel to frontier_entries_ (lax windows
+  /// only — strict barriers are single-instant).
+  std::vector<SimTime> frontier_times_;
   std::uint64_t frontier_barriers_ = 0;
   std::uint64_t frontier_stalled_lanes_ = 0;
+  std::uint64_t lax_handoff_windows_ = 0;
 };
 
 /// Immediate-mode forward: defined here (not in delivery.hpp) because

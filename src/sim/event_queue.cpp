@@ -181,4 +181,34 @@ bool EventQueue::peek(SimTime& time, EventId& id) const {
   return true;
 }
 
+void EventQueue::collect_window(SimTime limit, std::vector<WindowRef>& out) {
+  for (;;) {
+    if (heap_.empty()) return;
+    const HeapEntry top = heap_.front();
+    if (top.time > limit) return;
+    remove_top();
+    // Dead tops (cancelled before collection) are reaped here exactly
+    // like drop_dead_top(); live entries stay registered so a cancel
+    // during the window's execution still lands.
+    if (slot(top.id & kSlotMask).id != top.id) continue;
+    out.push_back(WindowRef{top.time, top.id});
+  }
+}
+
+bool EventQueue::execute_collected(const WindowRef& ref) {
+  const std::uint32_t index = static_cast<std::uint32_t>(ref.id & kSlotMask);
+  Slot& s = slot(index);
+  if (s.id != ref.id) return false;  // cancelled since collection
+  // De-register then execute in place — same contract as
+  // acquire_due + execute_and_release, minus the heap pop (collection
+  // already removed the entry).
+  s.id = kInvalidEvent;
+  --live_;
+  DueEvent due;
+  due.time = ref.time;
+  due.slot_index = index;
+  execute_and_release(due);
+  return true;
+}
+
 }  // namespace continu::sim

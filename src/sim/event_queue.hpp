@@ -151,6 +151,33 @@ class EventQueue {
   /// ShardedEventQueue keeps its meta-heap exact.
   bool peek(SimTime& time, EventId& id) const;
 
+  /// Reference to an event collected by a lax window pop: removed from
+  /// the heap but still REGISTERED in its slot, so cancels issued
+  /// between collection and execution are honoured (the slot id stops
+  /// matching and execute_collected skips the ref).
+  struct WindowRef {
+    SimTime time = 0.0;
+    EventId id = kInvalidEvent;
+  };
+
+  /// Lax window collection: pops every live heap entry with time <=
+  /// limit into `out`, in (time, id) order, WITHOUT de-registering the
+  /// slots. Touches only this queue's heap plus slot-id reads, so the
+  /// per-shard member queues of a ShardedEventQueue can run this
+  /// concurrently — one worker per queue, no shared state.
+  void collect_window(SimTime limit, std::vector<WindowRef>& out);
+
+  /// True while a collected ref's event is still live (not cancelled
+  /// since collection).
+  [[nodiscard]] bool collected_live(const WindowRef& ref) const noexcept {
+    return slot(static_cast<std::uint32_t>(ref.id & kSlotMask)).id == ref.id;
+  }
+
+  /// Executes a collected ref in place iff still live: de-registers,
+  /// consumes the action, releases the slot. Returns whether it ran
+  /// (false = cancelled between collection and execution).
+  bool execute_collected(const WindowRef& ref);
+
  private:
   /// 16 bytes; the heap orders by (time, id) and id order among live
   /// entries is schedule order (the sequence occupies the high bits).

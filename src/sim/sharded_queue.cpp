@@ -102,6 +102,33 @@ bool ShardedEventQueue::cancel(EventId id) noexcept {
   return true;
 }
 
+void ShardedEventQueue::configure_lax(unsigned skew_buckets) {
+  window_.resize(shards_.size());
+  lax_lead_hist_.assign(static_cast<std::size_t>(skew_buckets) + 1, 0);
+}
+
+void ShardedEventQueue::collect_window(std::uint32_t shard, SimTime limit) {
+  shards_[shard].collect_window(limit, window_[shard]);
+}
+
+void ShardedEventQueue::finish_window(SimTime anchor, SimTime grid_s) {
+  ++lax_windows_;
+  const std::size_t buckets = lax_lead_hist_.size();
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    if (window_[s].empty()) {
+      ++lax_stalled_shards_;
+    } else if (buckets > 0 && grid_s > 0.0) {
+      for (const EventQueue::WindowRef& ref : window_[s]) {
+        std::size_t lead =
+            static_cast<std::size_t>((ref.time - anchor) / grid_s);
+        if (lead >= buckets) lead = buckets - 1;
+        ++lax_lead_hist_[lead];
+      }
+    }
+    refresh_meta(s);
+  }
+}
+
 bool ShardedEventQueue::peek(SimTime& time, std::uint64_t& seq) const {
   if (meta_.empty()) return false;
   const MetaHeap::Top top = meta_.top();

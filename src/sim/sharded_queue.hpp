@@ -14,12 +14,22 @@
 // which is what keeps fingerprints byte-identical to the single-queue
 // oracle.
 //
-// Strict mode: the serial frontier walk is the ordering contract; the
-// parallel payoff in this PR is at delivery barriers, where the
-// network's per-lane hand-off heaps (net/handoff.hpp, built on the
-// same MetaHeap) pop concurrently between frontier instants. Lax mode
-// (bounded-skew shard drains that relax the global order) is a
-// follow-on and is NOT implemented here.
+// Strict mode: the serial frontier walk is the ordering contract and
+// the CI oracle; the network's per-lane hand-off heaps
+// (net/handoff.hpp, built on the same MetaHeap) pop concurrently
+// between frontier instants.
+//
+// Lax mode (queue_skew_buckets >= 1) relaxes the walk into bounded-skew
+// WINDOWS: anchored at the earliest pending (time, seq), every shard
+// pops its events due within `anchor + skew` concurrently
+// (collect_window — queue-local heap pops only), then the refs execute
+// serially in shard-index order at their own local clocks. Collection
+// keeps slots registered, so cancels landing mid-window are still
+// honoured at execution. Lax order is a pure function of the pending
+// set and the window width — deterministic and thread-count invariant
+// per skew setting — but it is a DIFFERENT universe from strict
+// (docs/DETERMINISM.md contract 7; drift quantified in
+// bench/results/pr10_lax_drain/).
 //
 // The meta-heap is kept EXACT at all times: push, cancel and acquire
 // each refresh the touched shard's entry, so acquire_due never meets a
@@ -227,6 +237,66 @@ class ShardedEventQueue {
     return frontier_stalled_shards_;
   }
 
+  // --- lax mode (bounded-skew windows) ------------------------------------
+  /// Sizes the lax accounting: the per-shard lead histogram carries
+  /// `skew_buckets + 1` buckets (lead 0..skew grid steps past the
+  /// window anchor). Call once before the first window.
+  void configure_lax(unsigned skew_buckets);
+
+  /// Phase A (forkable, one worker per shard): pops shard `shard`'s
+  /// events due at or before `limit` into its private window list.
+  /// Queue-local heap/slot state only — workers must not touch meta_,
+  /// live_ or any counter; finish_window() settles those serially.
+  void collect_window(std::uint32_t shard, SimTime limit);
+
+  /// Serial post-fork settlement: refreshes every shard's meta entry
+  /// and accounts the window (skew-stalled shards, per-shard lead
+  /// histogram of collected events vs `anchor` on `grid_s` buckets).
+  void finish_window(SimTime anchor, SimTime grid_s);
+
+  /// Phase B (serial): executes the collected refs in shard-index
+  /// order, skipping refs cancelled since collection. `on_event(time)`
+  /// runs before each execution so the simulator can stamp its clock
+  /// and executed count. Returns events actually run.
+  template <typename Fn>
+  std::size_t execute_window(Fn&& on_event) {
+    std::size_t ran = 0;
+    for (std::uint32_t s = 0; s < shard_count(); ++s) {
+      for (const EventQueue::WindowRef& ref : window_[s]) {
+        if (!shards_[s].collected_live(ref)) continue;
+        on_event(ref.time);
+        shards_[s].execute_collected(ref);
+        --live_;
+        ++ran;
+      }
+      window_[s].clear();
+    }
+    lax_events_drained_ += ran;
+    return ran;
+  }
+
+  /// Lax windows drained.
+  [[nodiscard]] std::uint64_t lax_windows() const noexcept { return lax_windows_; }
+  /// Events executed through lax windows.
+  [[nodiscard]] std::uint64_t lax_events_drained() const noexcept {
+    return lax_events_drained_;
+  }
+  /// Cumulative shards that held NO event inside a window — the lax
+  /// counterpart of frontier_stalled_shards (skew-stall: the window
+  /// could not feed that shard any work).
+  [[nodiscard]] std::uint64_t lax_stalled_shards() const noexcept {
+    return lax_stalled_shards_;
+  }
+  /// Per-lead histogram: bucket b counts collected events whose time
+  /// sat b grid steps past their window's anchor. Empty until
+  /// configure_lax. A mass concentrated at bucket 0 means the skew
+  /// window is not being used; mass in the tail is recovered
+  /// parallelism.
+  [[nodiscard]] const std::vector<std::uint64_t>& lax_lead_histogram()
+      const noexcept {
+    return lax_lead_hist_;
+  }
+
  private:
   [[nodiscard]] std::uint32_t shard_of_seq(std::uint64_t seq) const noexcept {
     return static_cast<std::uint32_t>(seq) & shard_mask_;
@@ -250,6 +320,15 @@ class ShardedEventQueue {
   SimTime frontier_time_ = -std::numeric_limits<SimTime>::infinity();
   std::uint64_t frontier_advances_ = 0;
   std::uint64_t frontier_stalled_shards_ = 0;
+
+  // --- lax mode -----------------------------------------------------------
+  /// Per-shard collected-ref scratch; written only by the owning
+  /// worker during a window fork, consumed serially by execute_window.
+  std::vector<std::vector<EventQueue::WindowRef>> window_;
+  std::uint64_t lax_windows_ = 0;
+  std::uint64_t lax_events_drained_ = 0;
+  std::uint64_t lax_stalled_shards_ = 0;
+  std::vector<std::uint64_t> lax_lead_hist_;
 };
 
 }  // namespace continu::sim

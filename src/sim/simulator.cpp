@@ -1,8 +1,11 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <utility>
+
+#include "sim/parallel/executor.hpp"
 
 namespace continu::sim {
 
@@ -33,6 +36,85 @@ void Simulator::schedule_deferred(std::vector<EventQueue::Deferred>& batch) {
   } else {
     queue_.push_all(batch);
   }
+}
+
+void Simulator::set_lax_drain(LaxConfig lax) {
+  if (!squeue_) {
+    throw std::logic_error("Simulator::set_lax_drain: single-queue engine");
+  }
+  if (lax.skew_buckets == 0 || lax.grid_s <= 0.0) {
+    throw std::logic_error(
+        "Simulator::set_lax_drain: needs skew_buckets >= 1 and a positive grid");
+  }
+  squeue_->configure_lax(lax.skew_buckets);
+  lax_ = std::move(lax);
+}
+
+std::size_t Simulator::drain_lax(SimTime horizon) {
+  std::size_t ran = 0;
+  const unsigned nshards = squeue_->shard_count();
+  const SimTime window_s = static_cast<SimTime>(lax_.skew_buckets) * lax_.grid_s;
+  for (;;) {
+    SimTime qt = 0.0;
+    std::uint64_t qseq = 0;
+    SimTime dt = 0.0;
+    std::uint64_t dseq = 0;
+    const bool have_event = squeue_->peek(qt, qseq);
+    const bool have_barrier = frontier_.next_key && frontier_.next_key(dt, dseq);
+    if (!have_event && !have_barrier) break;
+    // The window anchors at the earliest pending (time, seq) across
+    // both sources — the strict frontier's instant — and extends one
+    // skew window past it. Anchoring at the global minimum is what
+    // bounds the clock skew: nothing in the window runs more than
+    // `window_s` ahead of something still pending somewhere.
+    SimTime anchor = have_event ? qt : dt;
+    if (have_barrier && dt < anchor) anchor = dt;
+    if (anchor > horizon) break;
+    const SimTime limit = std::min(anchor + window_s, horizon);
+    // Phase A — forked window collection: every shard pops its events
+    // due within the window into its private scratch. Queue-local heap
+    // pops only; meta/live settlement is serial in finish_window.
+    if (lax_.on_fork) lax_.on_fork(nshards);
+    const auto body = [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s) {
+        squeue_->collect_window(static_cast<std::uint32_t>(s), limit);
+      }
+    };
+    if (lax_.exec != nullptr) {
+      lax_.exec->for_shards(nshards, /*grain=*/1, body);
+    } else {
+      for (unsigned s = 0; s < nshards; ++s) {
+        squeue_->collect_window(s, limit);
+      }
+    }
+    squeue_->finish_window(anchor, lax_.grid_s);
+    // Phase B — serial execution in shard-index order, each event at
+    // its own local clock (this is the skew: the clock is non-monotonic
+    // within the window, bounded by window_s). Emissions landing inside
+    // the window were not collected — they fence to the next window —
+    // and cancels of collected refs are honoured at execution.
+    ran += squeue_->execute_window([this](SimTime t) {
+      now_ = t;
+      ++executed_;
+    });
+    // Windowed barrier sweep: every hand-off instant <= limit drains in
+    // one pass (per-lane pops forked once for the whole window), each
+    // instant's batch dispatched at its own clock in time order.
+    if (frontier_.dispatch_window) {
+      ran += frontier_.dispatch_window(limit, [this](SimTime t) {
+        now_ = t;
+        ++executed_;
+      });
+    } else if (frontier_.next_key) {
+      while (frontier_.next_key(dt, dseq) && dt <= limit) {
+        now_ = dt;
+        ++executed_;
+        ++ran;
+        frontier_.dispatch(dt);
+      }
+    }
+  }
+  return ran;
 }
 
 std::size_t Simulator::drain_sharded(SimTime horizon) {
@@ -74,7 +156,7 @@ std::size_t Simulator::drain_sharded(SimTime horizon) {
 std::size_t Simulator::run_until(SimTime horizon) {
   std::size_t ran = 0;
   if (squeue_) {
-    ran = drain_sharded(horizon);
+    ran = lax() ? drain_lax(horizon) : drain_sharded(horizon);
   } else {
     EventQueue::DueEvent due;
     while (queue_.acquire_due(horizon, due)) {
@@ -90,7 +172,8 @@ std::size_t Simulator::run_until(SimTime horizon) {
 
 std::size_t Simulator::run_all() {
   if (squeue_) {
-    return drain_sharded(std::numeric_limits<SimTime>::infinity());
+    const SimTime inf = std::numeric_limits<SimTime>::infinity();
+    return lax() ? drain_lax(inf) : drain_sharded(inf);
   }
   std::size_t ran = 0;
   EventQueue::DueEvent due;

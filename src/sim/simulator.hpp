@@ -35,6 +35,10 @@
 
 namespace continu::sim {
 
+namespace parallel {
+class ParallelExecutor;
+}
+
 class Simulator {
  public:
   Simulator() = default;
@@ -86,6 +90,16 @@ class Simulator {
   struct FrontierHook {
     std::function<bool(SimTime& time, std::uint64_t& seq)> next_key;
     std::function<void(SimTime time)> dispatch;
+    /// Lax mode only: drains EVERY pending hand-off instant <= limit in
+    /// one windowed sweep (per-lane pops forked once for the whole
+    /// window instead of once per barrier). The hook calls
+    /// begin_instant(t) before dispatching each instant's batch so the
+    /// simulator can stamp its clock and executed count; returns the
+    /// number of instants dispatched. Unset = the lax drain falls back
+    /// to per-instant dispatch().
+    std::function<std::size_t(SimTime limit,
+                              const std::function<void(SimTime)>& begin_instant)>
+        dispatch_window;
   };
 
   /// Installs the frontier hook (sharded engine only; the single
@@ -96,6 +110,30 @@ class Simulator {
     }
     frontier_ = std::move(hook);
   }
+
+  /// Lax-drain configuration (sharded engine + positive grid only).
+  /// The run loop drains bounded-skew windows of width
+  /// `skew_buckets * grid_s` instead of walking the strict frontier:
+  /// per-shard pops fork on `exec` (inline with the identical shard
+  /// decomposition when null), execution is serial in shard-index
+  /// order at per-event local clocks. `on_fork(shards)` fires before
+  /// each collection fork (the session brackets it as
+  /// obs::Phase::kLaxDrain).
+  struct LaxConfig {
+    unsigned skew_buckets = 0;
+    SimTime grid_s = 0.0;
+    parallel::ParallelExecutor* exec = nullptr;
+    std::function<void(std::size_t shards)> on_fork;
+  };
+
+  /// Switches the sharded engine's run loop to lax windows. Requires
+  /// sharded(), skew_buckets >= 1 and grid_s > 0 — callers gate on the
+  /// config, so a violation is a logic error, not a silent fallback.
+  void set_lax_drain(LaxConfig lax);
+
+  /// True when the run loop drains lax windows instead of the strict
+  /// frontier.
+  [[nodiscard]] bool lax() const noexcept { return lax_.skew_buckets > 0; }
 
   /// Schedules `action` to run at now() + delay (delay clamped to >= 0).
   /// Returns a handle usable with cancel(). Accepts any callable;
@@ -173,9 +211,16 @@ class Simulator {
   /// dispatches in global (time, seq) order up to `horizon`.
   std::size_t drain_sharded(SimTime horizon);
 
+  /// Lax drain: repeats { anchor at the earliest pending (time, seq),
+  /// fork per-shard pops of everything due within the skew window,
+  /// execute serially in shard order, sweep hand-off barriers through
+  /// the window } until past `horizon`.
+  std::size_t drain_lax(SimTime horizon);
+
   EventQueue queue_;
   std::unique_ptr<ShardedEventQueue> squeue_;
   FrontierHook frontier_;
+  LaxConfig lax_;
   SimTime now_ = 0.0;
   std::uint64_t executed_ = 0;
 };

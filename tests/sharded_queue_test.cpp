@@ -4,11 +4,21 @@
 // shard, simultaneous ties, cancel of a frontier event), delivery-lane
 // hand-offs, and session-level byte-identity of the sharded engine
 // against the single-queue oracle at threads 1/2/4/8.
+//
+// Lax mode (bounded-skew windows, queue_skew_buckets >= 1) has its own
+// suite at the bottom: fence correctness (no event beyond the skew
+// window, emissions invisible to their own window), cancel semantics
+// under skew, inline-vs-threaded collection identity, randomized
+// bounded-skew storms, per-receiver FIFO under skew, and session-level
+// gates (skew-0 == strict byte-identity, fixed-skew thread-invariance
+// at threads {1,2,4,8} x skew {1,4}).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -20,6 +30,7 @@
 #include "net/network.hpp"
 #include "runner/experiment_runner.hpp"
 #include "runner/scenario.hpp"
+#include "sim/parallel/executor.hpp"
 #include "sim/sharded_queue.hpp"
 #include "sim/simulator.hpp"
 #include "trace/generator.hpp"
@@ -314,7 +325,7 @@ TEST(ShardedHandoff, FrontierCountersTrackBarriers) {
 
 std::uint64_t session_fingerprint(const trace::TraceSnapshot& snapshot,
                                   unsigned threads, bool churn, double grid_ms,
-                                  bool sharded_queue) {
+                                  bool sharded_queue, unsigned queue_skew = 0) {
   core::SystemConfig config;
   config.seed = 42;
   config.expected_nodes = 200;
@@ -322,6 +333,7 @@ std::uint64_t session_fingerprint(const trace::TraceSnapshot& snapshot,
   config.churn_enabled = churn;
   config.latency_grid_ms = grid_ms;
   config.sharded_queue = sharded_queue;
+  config.queue_skew_buckets = queue_skew;
   runner::ReplicationSpec spec;
   spec.config = config;
   spec.snapshot = std::make_shared<const trace::TraceSnapshot>(snapshot);
@@ -396,6 +408,257 @@ TEST(ShardedQueueSessions, ShardCountIsPurelyAPerformanceKnob) {
   for (const unsigned shards : {2u, 8u, 32u}) {
     EXPECT_EQ(fingerprint(true, shards), reference) << "shards " << shards;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Lax mode: bounded-skew windows (queue_skew_buckets >= 1)
+// ---------------------------------------------------------------------------
+
+void enable_lax(sim::Simulator& sim, unsigned skew, double grid_s,
+                sim::parallel::ParallelExecutor* exec = nullptr) {
+  sim::Simulator::LaxConfig lax;
+  lax.skew_buckets = skew;
+  lax.grid_s = grid_s;
+  lax.exec = exec;
+  sim.set_lax_drain(std::move(lax));
+}
+
+TEST(LaxDrain, RequiresShardedEngineAndPositiveGrid) {
+  sim::Simulator single;
+  sim::Simulator sharded(4);
+  sim::Simulator::LaxConfig bad;
+  bad.skew_buckets = 1;
+  bad.grid_s = 1.0;
+  EXPECT_THROW(single.set_lax_drain(bad), std::logic_error);
+  bad.grid_s = 0.0;
+  EXPECT_THROW(sharded.set_lax_drain(bad), std::logic_error);
+  bad.skew_buckets = 0;
+  bad.grid_s = 1.0;
+  EXPECT_THROW(sharded.set_lax_drain(bad), std::logic_error);
+  EXPECT_FALSE(sharded.lax());
+}
+
+TEST(LaxDrain, WindowsFenceEmissionsAndBoundTheClock) {
+  // skew 2 x grid 1.0 => window width 2.0. Four roots spread across
+  // shards (seq 1..4 -> shards 1,2,3,0), one child emitted mid-window.
+  sim::Simulator sim(4);
+  enable_lax(sim, /*skew=*/2, /*grid_s=*/1.0);
+  ASSERT_TRUE(sim.lax());
+  std::vector<std::pair<double, int>> log;
+  auto fire = [&](int token) { log.emplace_back(sim.now(), token); };
+  sim.schedule_at(0.0, [&] {
+    fire(0);
+    // Emitted DURING window [0, 2]: collection already happened, so
+    // this fences to the next window even though 1.0 <= limit.
+    sim.schedule_at(1.0, [&] { fire(4); });
+  });
+  sim.schedule_at(1.5, [&] { fire(1); });
+  sim.schedule_at(2.5, [&] { fire(2); });
+  sim.schedule_at(5.0, [&] { fire(3); });
+  sim.run_until(10.0);
+
+  // Window 1 [0,2]: tok0 then tok1 (shard order). Window 2 anchors at
+  // the fenced child [1,3]: tok4 (clock steps BACK 1.5 -> 1.0, within
+  // the skew bound) then tok2. Window 3 [5,7]: tok3.
+  const std::vector<std::pair<double, int>> expected = {
+      {0.0, 0}, {1.5, 1}, {1.0, 4}, {2.5, 2}, {5.0, 3}};
+  EXPECT_EQ(log, expected);
+
+  // Bounded-skew invariant: no event runs more than skew*grid behind
+  // the furthest clock already observed.
+  double high_water = 0.0;
+  for (const auto& [t, tok] : log) {
+    EXPECT_GE(t, high_water - 2.0) << "token " << tok;
+    high_water = std::max(high_water, t);
+  }
+
+  const auto* queue = sim.sharded_queue();
+  ASSERT_NE(queue, nullptr);
+  EXPECT_EQ(queue->lax_windows(), 3u);
+  EXPECT_EQ(queue->lax_events_drained(), 5u);
+  // Window 1 idles shards 0,3; window 2 idles 0,2; window 3 idles 1,2,3.
+  EXPECT_EQ(queue->lax_stalled_shards(), 7u);
+  // Leads: three events at their window anchor, two one bucket ahead.
+  ASSERT_EQ(queue->lax_lead_histogram().size(), 3u);
+  EXPECT_EQ(queue->lax_lead_histogram()[0], 3u);
+  EXPECT_EQ(queue->lax_lead_histogram()[1], 2u);
+  EXPECT_EQ(queue->lax_lead_histogram()[2], 0u);
+}
+
+TEST(LaxDrain, CrossShardCancelInsideAWindowIsHonoured) {
+  // A (shard 1) and B (shard 2) are collected into the SAME window;
+  // A executes first and cancels B — the stale collected ref must be
+  // skipped, exactly like the strict engine would have skipped it.
+  sim::Simulator sim(4);
+  enable_lax(sim, /*skew=*/4, /*grid_s=*/1.0);
+  std::vector<std::pair<double, int>> log;
+  sim::EventId b = sim::kInvalidEvent;
+  sim.schedule_at(0.0, [&] {
+    log.emplace_back(sim.now(), 0);
+    EXPECT_TRUE(sim.cancel(b));
+    EXPECT_FALSE(sim.cancel(b));  // double cancel is a stale no-op
+  });
+  b = sim.schedule_at(1.5, [&] { log.emplace_back(sim.now(), 1); });
+  const sim::EventId a_probe = sim.schedule_at(
+      0.5, [&] { log.emplace_back(sim.now(), 2); });
+  sim.run_until(10.0);
+  const std::vector<std::pair<double, int>> expected = {{0.0, 0}, {0.5, 2}};
+  EXPECT_EQ(log, expected);
+  EXPECT_EQ(sim.executed(), 2u);
+  EXPECT_FALSE(sim.cancel(a_probe));  // already fired
+}
+
+TEST(LaxDrain, ThreadedCollectionMatchesInlineCollection) {
+  // The forked Phase A only POPS per-shard heaps; execution stays
+  // serial. A 4-thread executor must therefore reproduce the inline
+  // fallback's log exactly, storm after storm.
+  sim::parallel::ParallelExecutor exec(4);
+  for (std::uint64_t trial = 0; trial < 20; ++trial) {
+    const unsigned skew = (trial % 2 == 0) ? 1u : 4u;
+    auto run = [&](sim::parallel::ParallelExecutor* e) {
+      sim::Simulator sim(4);
+      enable_lax(sim, skew, /*grid_s=*/0.5, e);
+      Storm storm(sim, 7000 + trial);
+      for (int i = 0; i < 40; ++i) {
+        storm.schedule(0.5 * static_cast<double>(storm.rng.next_below(20)));
+      }
+      sim.run_until(64.0);
+      return std::move(storm.log);
+    };
+    const auto inline_log = run(nullptr);
+    const auto threaded_log = run(&exec);
+    ASSERT_EQ(inline_log, threaded_log) << "trial " << trial << " skew " << skew;
+  }
+}
+
+TEST(LaxDrain, RandomStormsAreDeterministicOncePerTokenAndBounded) {
+  for (std::uint64_t trial = 0; trial < 50; ++trial) {
+    const unsigned skew = (trial % 2 == 0) ? 1u : 4u;
+    const double grid = 0.5;
+    auto run = [&] {
+      sim::Simulator sim(4 + static_cast<unsigned>(trial % 3));
+      enable_lax(sim, skew, grid);
+      Storm storm(sim, 4000 + trial);
+      for (int i = 0; i < 40; ++i) {
+        storm.schedule(0.5 * static_cast<double>(storm.rng.next_below(20)));
+      }
+      sim.run_until(64.0);
+      return std::move(storm.log);
+    };
+    const auto log_a = run();
+    const auto log_b = run();
+    ASSERT_EQ(log_a, log_b) << "trial " << trial;  // run-to-run determinism
+
+    // Every token fires at most once (cancel/execute race would double
+    // fire), and the clock never regresses past the skew window.
+    std::vector<int> seen;
+    double high_water = 0.0;
+    for (const auto& [t, tok] : log_a) {
+      seen.push_back(tok);
+      ASSERT_GE(t, high_water - skew * grid) << "trial " << trial;
+      high_water = std::max(high_water, t);
+    }
+    std::sort(seen.begin(), seen.end());
+    ASSERT_TRUE(std::adjacent_find(seen.begin(), seen.end()) == seen.end())
+        << "trial " << trial << ": a token fired twice";
+  }
+}
+
+TEST(LaxDrain, PerReceiverDeliveryOrderSurvivesSkew) {
+  // Laned hand-offs under skew: the windowed barrier sweep merges due
+  // lanes by (instant, seq), so each receiver must observe tokens in
+  // exactly the order the single-queue oracle delivers them.
+  auto run = [](unsigned queue_shards, unsigned skew) {
+    auto sim = queue_shards > 0 ? std::make_unique<sim::Simulator>(queue_shards)
+                                : std::make_unique<sim::Simulator>();
+    net::Network net(*sim, net::LatencyModel({10.0, 20.0, 30.0, 40.0}, 5.0,
+                                             /*grid_ms=*/2.0));
+    if (skew > 0) enable_lax(*sim, skew, net.grid_s());
+    std::vector<std::vector<int>> per_receiver(4);
+    auto* prp = &per_receiver;
+    for (int wave = 0; wave < 6; ++wave) {
+      for (std::uint32_t from = 0; from < 2; ++from) {
+        for (std::uint32_t to = 0; to < 4; ++to) {
+          const int token = (wave * 2 + static_cast<int>(from)) * 4 +
+                            static_cast<int>(to);
+          net.send_sharded(from, to, net::MessageType::kBufferMap, /*bits=*/100,
+                           [prp, to, token](net::DeliveryContext&) {
+                             (*prp)[to].push_back(token);
+                           },
+                           /*extra_delay=*/0.013 * wave);
+        }
+      }
+    }
+    sim->run_until(10.0);
+    return per_receiver;
+  };
+  const auto oracle = run(0, 0);
+  for (const unsigned skew : {1u, 4u}) {
+    const auto lax = run(4, skew);
+    for (std::size_t to = 0; to < 4; ++to) {
+      EXPECT_EQ(lax[to], oracle[to]) << "receiver " << to << " skew " << skew;
+      EXPECT_FALSE(oracle[to].empty());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Session-level lax gates: skew-0 byte-identity and thread-invariance
+// ---------------------------------------------------------------------------
+
+TEST(LaxSessions, SkewIsInertWithoutShardedQueueOrQuantizedGrid) {
+  trace::GeneratorConfig tc;
+  tc.node_count = 200;
+  tc.seed = 21;
+  const auto snapshot = trace::generate_snapshot(tc);
+  // Continuous mode (grid 0): lax never engages, skew must be inert.
+  EXPECT_EQ(session_fingerprint(snapshot, 1, true, 0.0, true, 4),
+            session_fingerprint(snapshot, 1, true, 0.0, true, 0));
+  // Single-queue engine: skew must be inert too.
+  EXPECT_EQ(session_fingerprint(snapshot, 1, true, 1.0, false, 4),
+            session_fingerprint(snapshot, 1, true, 1.0, false, 0));
+}
+
+TEST(LaxSessions, SkewZeroMatchesStrictAndFixedSkewIsThreadInvariant) {
+  trace::GeneratorConfig tc;
+  tc.node_count = 200;
+  tc.seed = 21;
+  const auto snapshot = trace::generate_snapshot(tc);
+
+  // Strict reference: the single-queue oracle; skew 0 on the sharded
+  // engine must stay byte-identical to it.
+  const std::uint64_t strict =
+      session_fingerprint(snapshot, 1, true, 1.0, false, 0);
+  EXPECT_EQ(session_fingerprint(snapshot, 1, true, 1.0, true, 0), strict);
+
+  // Fixed skew: a DIFFERENT deterministic universe, identical at every
+  // thread count.
+  for (const unsigned skew : {1u, 4u}) {
+    const std::uint64_t reference =
+        session_fingerprint(snapshot, 1, true, 1.0, true, skew);
+    EXPECT_NE(reference, strict) << "skew " << skew
+        << ": lax silently fell back to strict";
+    for (const unsigned threads : {2u, 4u, 8u}) {
+      EXPECT_EQ(session_fingerprint(snapshot, threads, true, 1.0, true, skew),
+                reference)
+          << "threads " << threads << " skew " << skew;
+    }
+  }
+}
+
+TEST(LaxSessions, FaultedScenarioIsThreadInvariantUnderSkew) {
+  const auto scenario = runner::find_scenario("f5_q1_static_small");
+  ASSERT_TRUE(scenario.has_value());
+  auto fingerprint = [&](unsigned threads, unsigned skew) {
+    auto spec = runner::spec_for(*scenario, 42);
+    spec.config.threads = threads;
+    spec.config.sharded_queue = true;
+    spec.config.queue_skew_buckets = skew;
+    return runner::result_fingerprint(runner::ExperimentRunner::run_one(spec));
+  };
+  const std::uint64_t reference = fingerprint(1, 1);
+  EXPECT_EQ(fingerprint(4, 1), reference);
+  EXPECT_EQ(fingerprint(8, 1), reference);
 }
 
 }  // namespace

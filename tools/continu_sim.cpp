@@ -59,6 +59,7 @@ struct CliOptions {
   unsigned jobs = 0;     // 0 = hardware concurrency (flag demands >= 1)
   unsigned threads = 1;  // intra-session fork/join width
   bool sharded_queue = false;  // sharded event-queue engine (bit-identical)
+  unsigned queue_skew = 0;     // lax-mode skew window in grid buckets
   std::size_t replications = 1;
   bool list_scenarios = false;
   bool quiet = false;
@@ -101,6 +102,12 @@ void print_usage(const char* argv0) {
       "  --sharded-queue    run on the sharded event-queue engine (per-shard\n"
       "                     heaps + meta-heap frontier; results are bit-identical\n"
       "                     to the default single-queue engine)\n"
+      "  --queue-skew K     lax mode: shards drain up to K latency-grid buckets\n"
+      "                     ahead of the global frontier, concurrently. Needs\n"
+      "                     --sharded-queue and a quantized (q*_) scenario; 0 is\n"
+      "                     strict mode. Deterministic and thread-invariant per\n"
+      "                     K, but each K >= 1 is a different universe from\n"
+      "                     strict (see docs/DETERMINISM.md contract 7)\n"
       "  --csv FILE         dump per-round series as CSV\n"
       "  --csv-mode MODE    what --csv writes for multi-replication runs:\n"
       "                       first   series of replication 0 only (default)\n"
@@ -221,6 +228,15 @@ void print_usage(const char* argv0) {
       opt.threads = *parsed;
     } else if (arg == "--sharded-queue") {
       opt.sharded_queue = true;
+    } else if (arg == "--queue-skew") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      const auto parsed = continu::runner::cli::parse_uint(v);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "--queue-skew expects an integer >= 0, got '%s'\n", v);
+        return std::nullopt;
+      }
+      opt.queue_skew = static_cast<unsigned>(*parsed);
     } else if (arg == "--csv") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -367,7 +383,11 @@ int main(int argc, char** argv) {
   runner::ReplicationSpec spec = base_spec(opt);
   // Engine selection is orthogonal to the workload: --sharded-queue is
   // legal with --scenario because it cannot change any result.
+  // --queue-skew >= 1 is different: lax mode DOES change results (a
+  // deterministic, thread-invariant universe per skew setting), which
+  // is why it is opt-in and gated by its own drift budget in CI.
   spec.config.sharded_queue = opt.sharded_queue;
+  spec.config.queue_skew_buckets = opt.queue_skew;
   if (opt.vary_trace_seed) {
     if (opt.replications <= 1) {
       std::fprintf(stderr, "--vary-trace-seed needs --replications > 1\n");

@@ -27,6 +27,11 @@
 // SAME output — the on-vs-off diff is the CI gate proving the sharded
 // engine is byte-identical to the single-queue oracle.
 //
+// --queue-skew K (with --sharded-queue) selects the lax bounded-skew
+// drain. K = 0 must print bytes identical to strict mode; each K >= 1
+// prints a DIFFERENT but deterministic baseline that must be identical
+// at every --threads value — both properties are CI diff gates.
+//
 // --only accepts exact scenario names AND family prefixes: "--only
 // q1_" expands to every q1_* scenario (matrix + families, registry
 // order). A selector matching nothing is still a hard error.
@@ -54,6 +59,7 @@ int main(int argc, char** argv) {
   bool include_large = false;
   bool obs = false;
   bool sharded_queue = false;
+  unsigned queue_skew = 0;
   std::vector<std::string> only;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
@@ -80,6 +86,13 @@ int main(int argc, char** argv) {
       obs = true;
     } else if (std::strcmp(argv[i], "--sharded-queue") == 0) {
       sharded_queue = true;
+    } else if (std::strcmp(argv[i], "--queue-skew") == 0 && i + 1 < argc) {
+      const auto parsed = runner::cli::parse_uint(argv[++i]);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "--queue-skew expects an integer >= 0\n");
+        return 1;
+      }
+      queue_skew = static_cast<unsigned>(*parsed);
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       util::set_log_level(util::LogLevel::kError);
     } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
@@ -95,7 +108,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seed S] [--only NAME[,NAME...]] [--threads N] "
-                   "[--include-large] [--obs] [--sharded-queue] [--quiet]\n",
+                   "[--include-large] [--obs] [--sharded-queue] "
+                   "[--queue-skew K] [--quiet]\n",
                    argv[0]);
       return 1;
     }
@@ -145,6 +159,7 @@ int main(int argc, char** argv) {
     auto spec = runner::spec_for(scenario, seed);
     spec.config.threads = threads;
     spec.config.sharded_queue = sharded_queue;
+    spec.config.queue_skew_buckets = queue_skew;
     if (obs) {
       spec.config.obs.profile = true;
       spec.config.obs.trace = true;
